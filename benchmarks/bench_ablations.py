@@ -1,0 +1,20 @@
+"""Ablation benchmarks: Ergo's constants vs their neighbours."""
+
+from repro.experiments.ablations import AblationConfig, run_ablations
+
+
+def bench_ablation_sweep(benchmark):
+    config = AblationConfig.quick()
+
+    def run():
+        return run_ablations(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    defaults = [
+        r for r in rows if r.knob == "purge_fraction" and abs(r.value - 1 / 11) < 1e-9
+    ]
+    assert defaults and defaults[0].defid_ok
+    # A purge fraction of 1/4 lets the bad fraction climb well above the
+    # default's ceiling -- the ablation shows why 1/11-ish is needed.
+    loose = [r for r in rows if r.knob == "purge_fraction" and r.value > 0.2]
+    assert loose and loose[0].max_bad_fraction > defaults[0].max_bad_fraction

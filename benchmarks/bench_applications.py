@@ -1,0 +1,56 @@
+"""Benchmarks for the future-work applications (DHT, DDoS pricing)."""
+
+import numpy as np
+
+from repro.applications.ddos import PricedJobQueue
+from repro.applications.dht import SybilResistantDHT
+
+
+def bench_dht_build_and_lookup(benchmark):
+    def run():
+        dht = SybilResistantDHT(redundancy=3, swarm_size=15)
+        dht.sync_membership(
+            [f"g{i}" for i in range(1_000)], [f"b{i}" for i in range(150)]
+        )
+        rng = np.random.default_rng(0)
+        correct = 0
+        for k in range(100):
+            dht.put(f"key{k}", f"value{k}")
+        for k in range(100):
+            if dht.lookup(f"key{k}", rng).correct:
+                correct += 1
+        return correct
+
+    correct = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert correct >= 98
+
+
+def bench_dht_routing_only(benchmark):
+    dht = SybilResistantDHT()
+    dht.sync_membership([f"g{i}" for i in range(2_000)], [])
+
+    def run():
+        total_hops = 0
+        for k in range(200):
+            path = dht.ring.route("g0", f"key{k}")
+            total_hops += len(path)
+        return total_hops / 200
+
+    mean_hops = benchmark(run)
+    assert mean_hops <= 16  # O(log n) routing
+
+
+def bench_ddos_flood_pricing(benchmark):
+    def run():
+        queue = PricedJobQueue(capacity_per_second=100.0, initial_rate=2.0)
+        now = 0.0
+        for _ in range(500):
+            now += 1.0
+            queue.submit_attack_burst(now, budget=10_000.0)
+            queue.submit_good(now)
+        return queue.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    # sqrt asymmetry: the attacker pays ~sqrt(budget) times the good
+    # client's per-window price (~70x at a 10k/s budget here).
+    assert stats.attacker_cost > 50 * stats.good_cost

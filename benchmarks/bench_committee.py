@@ -1,0 +1,34 @@
+"""Committee benchmarks: decentralized Ergo and the SMR layer."""
+
+from repro.committee.smr import Behaviour, Replica, ReplicatedLog
+from repro.experiments import committee_exp
+from repro.experiments.config import CommitteeConfig
+
+
+def bench_committee_invariants(benchmark):
+    config = CommitteeConfig.quick()
+
+    def run():
+        return committee_exp.run(config)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.all_good_majority
+    assert report.max_bad_fraction < 1 / 6
+
+
+def bench_smr_throughput(benchmark):
+    replicas = [Replica(ident=f"g{i}") for i in range(25)]
+    replicas += [
+        Replica(ident=f"b{i}", behaviour=Behaviour.FLIP) for i in range(8)
+    ]
+
+    def run():
+        log = ReplicatedLog(list(replicas))
+        for replica in log.replicas:
+            replica.log.clear()
+        for i in range(500):
+            log.propose(f"op{i}")
+        return log
+
+    log = benchmark(run)
+    assert log.good_logs_agree()

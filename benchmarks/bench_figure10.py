@@ -1,0 +1,50 @@
+"""Figure 10 benchmarks: the heuristic variants under one attack size."""
+
+import pytest
+
+from repro.churn.datasets import NETWORKS
+from repro.core.ergo import Ergo
+from repro.core.heuristics import ergo_ch1, ergo_ch2, ergo_sf
+from repro.experiments import figure10
+from repro.experiments.config import Figure10Config
+from repro.experiments.runner import run_point
+
+HORIZON = 400.0
+N0 = 1_000
+T_ATTACK = float(2**14)
+
+VARIANTS = {
+    "ergo": Ergo,
+    "ergo_ch1": ergo_ch1,
+    "ergo_ch2": ergo_ch2,
+    "ergo_sf92": lambda: ergo_sf(0.92),
+    "ergo_sf98": lambda: ergo_sf(0.98),
+}
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def bench_figure10_point(benchmark, name):
+    factory = VARIANTS[name]
+    network = NETWORKS["gnutella"]
+
+    def run():
+        return run_point(
+            factory, network, T_ATTACK, horizon=HORIZON, seed=3, n0=N0
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.maintains_defid
+
+
+def bench_figure10_quick_sweep(benchmark):
+    config = Figure10Config.quick()
+
+    def run():
+        return figure10.run(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    t_top = max(r.t_rate for r in rows)
+    by = {(r.defense, r.t_rate): r.good_spend_rate for r in rows}
+    # The classifier variants dominate at the largest attack.
+    assert by[("ERGO-SF(98)", t_top)] < by[("ERGO", t_top)]
+    assert by[("ERGO-SF(92)", t_top)] < by[("ERGO", t_top)]

@@ -1,0 +1,60 @@
+"""Figure 8 benchmarks: A-vs-T sweep points for all five algorithms.
+
+Each benchmark runs one scaled-down sweep point (the same code path as
+``python -m repro.experiments.figure8``); the final benchmark runs the
+whole quick sweep and sanity-checks the reproduced curve shapes.
+"""
+
+import pytest
+
+from repro.baselines.ccom import CCom
+from repro.baselines.remp import Remp
+from repro.baselines.sybilcontrol import SybilControl
+from repro.churn.datasets import NETWORKS
+from repro.core.ergo import Ergo
+from repro.core.heuristics import ergo_sf
+from repro.experiments import figure8
+from repro.experiments.config import Figure8Config
+from repro.experiments.runner import run_point
+
+HORIZON = 400.0
+N0 = 1_000
+T_ATTACK = float(2**14)
+
+POINT_FACTORIES = {
+    "ergo": Ergo,
+    "ccom": CCom,
+    "sybilcontrol": SybilControl,
+    "remp": lambda: Remp(t_max=1.0e7),
+    "ergo_sf": lambda: ergo_sf(0.98, combined=False),
+}
+
+
+@pytest.mark.parametrize("name", sorted(POINT_FACTORIES))
+def bench_figure8_point(benchmark, name):
+    factory = POINT_FACTORIES[name]
+    network = NETWORKS["gnutella"]
+
+    def run():
+        return run_point(
+            factory, network, T_ATTACK, horizon=HORIZON, seed=3, n0=N0
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.good_spend_rate > 0
+
+
+def bench_figure8_quick_sweep(benchmark):
+    config = Figure8Config.quick()
+
+    def run():
+        return figure8.run(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by = {(r.defense, r.t_rate): r for r in rows}
+    t_top = max(r.t_rate for r in rows)
+    # Reproduction shape checks (see DESIGN.md experiment index).
+    assert by[("ERGO", t_top)].good_spend_rate < by[("CCOM", t_top)].good_spend_rate
+    assert by[("ERGO-SF", t_top)].good_spend_rate < by[("ERGO", t_top)].good_spend_rate
+    remp_rates = [r.good_spend_rate for r in rows if r.defense == "REMP"]
+    assert max(remp_rates) / min(remp_rates) < 1.2

@@ -1,0 +1,42 @@
+"""Figure 9 benchmarks: GoodJEst estimation cells.
+
+Runs single (network, bad-fraction, T) cells of the estimation
+experiment and the quick sweep, asserting the ratio stays within the
+reproduction band.
+"""
+
+import pytest
+
+from repro.experiments import figure9
+from repro.experiments.config import Figure9Config
+
+CELL_CONFIG = Figure9Config(
+    networks=["gnutella"],
+    bad_fractions=[1 / 24],
+    attack_rates=[0.0],
+    horizon=8_000.0,
+    n0_scale=0.1,
+)
+
+
+@pytest.mark.parametrize("t_rate", [0.0, 10_000.0], ids=["T0", "T1e4"])
+def bench_figure9_cell(benchmark, t_rate):
+    def run():
+        return figure9.run_cell("gnutella", 1 / 24, t_rate, CELL_CONFIG)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.intervals >= 1
+    assert 0.08 <= row.median_ratio <= 10.0
+
+
+def bench_figure9_quick_sweep(benchmark):
+    config = Figure9Config.quick()
+
+    def run():
+        return figure9.run(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.intervals >= 1 for r in rows)
+    # The figure's qualitative claim: estimates within a factor of ~10
+    # of the truth, across bad fractions and under attack.
+    assert all(0.08 <= r.median_ratio <= 10.0 for r in rows)

@@ -1,0 +1,19 @@
+"""Theorem 3 benchmark: the join-and-drop adversary vs Ergo and CCom."""
+
+from repro.experiments import lowerbound
+from repro.experiments.config import LowerBoundConfig
+
+
+def bench_lowerbound_sweep(benchmark):
+    config = LowerBoundConfig.quick()
+
+    def run():
+        return lowerbound.run(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Nothing beats the Omega(sqrt(TJ)+J) bound...
+    assert all(r.ratio >= config.omega_constant for r in rows)
+    # ...and CCom's gap above it exceeds Ergo's at the top T.
+    t_top = max(r.t_rate for r in rows)
+    gaps = {r.defense: r.ratio for r in rows if r.t_rate == t_top}
+    assert gaps["CCOM"] > gaps["ERGO"]

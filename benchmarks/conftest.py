@@ -1,0 +1,15 @@
+"""Benchmark fixtures.
+
+Every benchmark uses the *quick* experiment configurations: the same
+code paths as the paper-scale sweeps, scaled down so the benchmark
+suite finishes in minutes.  Regenerating the full figures is done via
+``python -m repro.experiments.figureN`` (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_min_rounds(request):
+    """Sweep-level benchmarks are slow; one round is informative."""
+    return None

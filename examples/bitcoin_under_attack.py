@@ -1,0 +1,61 @@
+"""Bitcoin-like network under escalating attack: Ergo vs the baselines.
+
+Sweeps the adversary's spend rate T over three orders of magnitude on
+the synthetic Bitcoin churn model and prints how each defense's cost
+responds -- a miniature Figure 8.
+
+    python examples/bitcoin_under_attack.py
+"""
+
+from repro.analysis.plotting import ascii_loglog_plot, format_table
+from repro.baselines.ccom import CCom
+from repro.baselines.remp import Remp
+from repro.core.ergo import Ergo
+from repro.core.heuristics import ergo_sf
+from repro.churn.datasets import NETWORKS
+from repro.experiments.runner import run_point
+
+
+def main() -> None:
+    network = NETWORKS["bitcoin"]
+    t_rates = [2.0**8, 2.0**12, 2.0**16]
+    defenses = {
+        "ERGO": Ergo,
+        "CCOM": CCom,
+        "REMP": lambda: Remp(t_max=1.0e7),
+        "ERGO-SF": lambda: ergo_sf(0.98, combined=False),
+    }
+    rows = []
+    series = {name: [] for name in defenses}
+    for name, factory in defenses.items():
+        for t_rate in t_rates:
+            point = run_point(
+                factory, network, t_rate, horizon=1_500.0, seed=7, n0=2_000
+            )
+            rows.append(
+                [name, t_rate, point.good_spend_rate,
+                 point.good_spend_rate / t_rate,
+                 "yes" if point.maintains_defid else "NO"]
+            )
+            series[name].append((t_rate, point.good_spend_rate))
+
+    print(format_table(["defense", "T", "A", "A/T", "defid"], rows))
+    print()
+    print(
+        ascii_loglog_plot(
+            series,
+            title="Good spend rate vs attack size (synthetic Bitcoin churn)",
+            xlabel="adversary spend rate T",
+            ylabel="good spend rate A",
+        )
+    )
+    ergo_top = next(a for n, t, a, *_ in rows if n == "ERGO" and t == t_rates[-1])
+    ccom_top = next(a for n, t, a, *_ in rows if n == "CCOM" and t == t_rates[-1])
+    print(
+        f"At T = 2^16, Ergo spends {ccom_top / ergo_top:,.0f}x less than "
+        "CCom -- the paper's headline asymmetry."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""ERGO-SF with a *real* graph classifier, not an assumed accuracy.
+
+Synthesizes a social network (benign region + Sybil region bridged by
+attack edges), runs the SybilFuse-style pipeline (local priors, weighted
+trust propagation, thresholding), measures its confusion matrix, and
+plugs it into Ergo -- then compares costs against vanilla Ergo under the
+same flood.
+
+    python examples/classifier_defense.py
+"""
+
+import numpy as np
+
+import repro
+from repro.classifier.social_graph import synthesize_social_graph
+from repro.classifier.sybilfuse import GraphClassifier, run_sybilfuse
+from repro.core.heuristics import ergo_sf
+
+
+def run_defense(defense, seed=21, rate=20_000.0, horizon=1_000.0):
+    rngs = repro.RngRegistry(seed=seed)
+    network = repro.churn.NETWORKS["gnutella"]
+    scenario = network.scenario(horizon=horizon, rng=rngs.stream("churn"), n0=2_000)
+    sim = repro.Simulation(
+        repro.SimulationConfig(horizon=horizon),
+        defense,
+        scenario.events,
+        adversary=repro.GreedyJoinAdversary(rate=rate),
+        rngs=rngs,
+        initial_members=scenario.initial,
+    )
+    return sim.run()
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    print("Synthesizing a social graph: 2,000 benign + 800 Sybil nodes,")
+    print("bridged by 1,500 attack edges (a well-connected Sybil region)...")
+    social = synthesize_social_graph(
+        benign_size=2_000, sybil_size=800, attack_edges=1_500, rng=rng
+    )
+    scores = run_sybilfuse(social, rng, seed_count=25)
+    print(f"  true positive rate (benign kept) : {scores.true_positive_rate:.3f}")
+    print(f"  false positive rate (sybil kept) : {scores.false_positive_rate:.3f}")
+    print(f"  balanced accuracy                : {scores.accuracy:.3f}")
+    print()
+
+    classifier = GraphClassifier(scores)
+    plain = run_defense(repro.Ergo())
+    gated = run_defense(ergo_sf(classifier=classifier, combined=False))
+
+    print("Under a 20,000/s Sybil flood (Gnutella churn):")
+    print(f"  ERGO          good spend rate : {plain.good_spend_rate:>10,.1f} /s")
+    print(f"  ERGO-SF(graph) good spend rate: {gated.good_spend_rate:>10,.1f} /s")
+    print(f"  cost reduction                : {plain.good_spend_rate / gated.good_spend_rate:,.1f}x")
+    print(f"  DefID held for both           : "
+          f"{plain.max_bad_fraction < 1/6 and gated.max_bad_fraction < 1/6}")
+    print()
+    print("The classifier multiplies Ergo's asymmetry: refused Sybils")
+    print("still pay their entrance challenges, but never trigger purges.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Application-layer DDoS mitigation with Ergo-style pricing (§13.2).
+
+A server with bounded capacity prices requests adaptively: each request
+costs 1 + (requests in the last 1/R̃ seconds), with R̃ estimated from
+served traffic.  A flooder pays quadratically per pricing window; the
+legitimate client's cost grows only with the square root of the
+attacker's budget -- Ergo's asymmetry, transplanted from joins to jobs.
+
+    python examples/ddos_pricing.py
+"""
+
+from repro.analysis.plotting import format_table
+from repro.applications.ddos import PricedJobQueue
+
+
+def run_scenario(attack_budget_per_second: float, horizon: float = 300.0):
+    queue = PricedJobQueue(capacity_per_second=50.0, initial_rate=2.0)
+    now = 0.0
+    good_costs = []
+    while now < horizon:
+        now += 0.5  # legitimate clients: 2 requests/second
+        if attack_budget_per_second > 0 and abs(now % 1.0) < 1e-9:
+            queue.submit_attack_burst(now, attack_budget_per_second)
+        _served, cost = queue.submit_good(now)
+        good_costs.append(cost)
+    mean_cost = sum(good_costs) / len(good_costs)
+    return queue.stats, mean_cost, horizon
+
+
+def main() -> None:
+    rows = []
+    for budget in (0.0, 100.0, 1_600.0, 25_600.0):
+        stats, mean_cost, horizon = run_scenario(budget)
+        rows.append(
+            [
+                budget,
+                stats.goodput(horizon),
+                mean_cost,
+                stats.attacker_cost / horizon if budget else 0.0,
+                stats.served_bad,
+            ]
+        )
+    print("Adaptive request pricing under application-layer floods")
+    print(
+        format_table(
+            [
+                "attack budget/s",
+                "goodput (jobs/s)",
+                "mean good cost",
+                "attacker spend/s",
+                "bad jobs served",
+            ],
+            rows,
+        )
+    )
+    base = rows[1][2]
+    top = rows[3][2]
+    print(
+        f"\nAttack budget grew 256x (100 -> 25,600/s); the legitimate "
+        f"client's per-request cost grew only {top / base:.1f}x "
+        f"(sqrt(256) = 16), and goodput degraded gracefully instead of "
+        f"collapsing -- the attacker pays the quadratic window price."
+    )
+
+
+if __name__ == "__main__":
+    main()

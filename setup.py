@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools without editable-wheel
+support, so ``pip install -e . --no-build-isolation --no-use-pep517``
+needs this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

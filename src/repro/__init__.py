@@ -1,0 +1,90 @@
+"""repro: a reproduction of "Bankrupting Sybil Despite Churn".
+
+Gupta, Saia, Young -- ICDCS 2021 (extended version arXiv:2010.06834).
+
+The package implements the paper's Sybil defense **Ergo**, its good-
+join-rate estimator **GoodJEst**, the **ABC churn model**, the baseline
+defenses it is evaluated against (CCom, SybilControl, REMP), classifier
+gating (ERGO-SF), a committee-based decentralization, and the full
+evaluation harness regenerating Figures 8-10.
+
+Quickstart::
+
+    import repro
+
+    network = repro.churn.NETWORKS["gnutella"]
+    rngs = repro.RngRegistry(seed=1)
+    scenario = network.scenario(horizon=2000.0, rng=rngs.stream("churn"))
+    defense = repro.Ergo()
+    adversary = repro.GreedyJoinAdversary(rate=1000.0)
+    sim = repro.Simulation(
+        repro.SimulationConfig(horizon=2000.0),
+        defense,
+        scenario.events,
+        adversary=adversary,
+        rngs=rngs,
+        initial_members=scenario.initial,
+    )
+    result = sim.run()
+    print(result.good_spend_rate, result.adversary_spend_rate)
+    assert result.max_bad_fraction < 1 / 6
+"""
+
+from repro import (
+    adversary,
+    analysis,
+    applications,
+    baselines,
+    churn,
+    classifier,
+    committee,
+    core,
+    sim,
+)
+from repro.adversary import (
+    BurstyJoinAdversary,
+    GreedyJoinAdversary,
+    MaintenanceAdversary,
+    PassiveAdversary,
+    PersistentFractionAdversary,
+    PurgeSurvivorAdversary,
+)
+from repro.baselines import CCom, Remp, SybilControl
+from repro.classifier import BernoulliClassifier, GraphClassifier
+from repro.core import Defense, Ergo, ErgoConfig, GoodJEst, ergo_ch1, ergo_ch2, ergo_sf
+from repro.sim import RngRegistry, Simulation, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliClassifier",
+    "BurstyJoinAdversary",
+    "CCom",
+    "Defense",
+    "Ergo",
+    "ErgoConfig",
+    "GoodJEst",
+    "GraphClassifier",
+    "GreedyJoinAdversary",
+    "MaintenanceAdversary",
+    "PassiveAdversary",
+    "PersistentFractionAdversary",
+    "PurgeSurvivorAdversary",
+    "Remp",
+    "RngRegistry",
+    "Simulation",
+    "SimulationConfig",
+    "SybilControl",
+    "adversary",
+    "analysis",
+    "applications",
+    "baselines",
+    "churn",
+    "classifier",
+    "committee",
+    "core",
+    "ergo_ch1",
+    "ergo_ch2",
+    "ergo_sf",
+    "sim",
+]

@@ -1,0 +1,65 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro figure8 [--quick]
+    python -m repro figure9 [--quick]
+    python -m repro figure10 [--quick]
+    python -m repro lowerbound [--quick]
+    python -m repro committee [--quick]
+    python -m repro ablations [--quick]
+    python -m repro sensitivity [--quick]
+    python -m repro all --quick        # everything, scaled down
+
+Outputs land in ``results/`` (tables, ASCII plots, CSV series).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    committee_exp,
+    figure8,
+    figure9,
+    figure10,
+    lowerbound,
+    sensitivity,
+)
+
+COMMANDS: Dict[str, Callable[[List[str]], object]] = {
+    "figure8": figure8.main,
+    "figure9": figure9.main,
+    "figure10": figure10.main,
+    "lowerbound": lowerbound.main,
+    "committee": committee_exp.main,
+    "ablations": ablations.main,
+    "sensitivity": sensitivity.main,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command = args[0]
+    rest = args[1:]
+    if command == "all":
+        for name, runner in COMMANDS.items():
+            print(f"\n##### {name} #####")
+            runner(rest)
+        return 0
+    runner = COMMANDS.get(command)
+    if runner is None:
+        print(f"unknown command {command!r}; choose from "
+              f"{', '.join(sorted(COMMANDS))} or 'all'")
+        return 2
+    runner(rest)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

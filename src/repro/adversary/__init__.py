@@ -1,0 +1,38 @@
+"""Sybil adversaries.
+
+A single adversary controls all bad IDs (perfect collusion, Section 2).
+It is resource-bounded two ways:
+
+* a *spend rate* ``T``: the budget it can burn per second on entrance
+  challenges (:class:`repro.adversary.budget.ResourceBudget`); and
+* the κ-fraction bound: in a round where all IDs solve challenges (a
+  purge), it can solve at most a κ-fraction of them.
+
+Strategies decide how to deploy that budget; the Figure-8/10 experiments
+use :class:`~repro.adversary.strategies.GreedyJoinAdversary`, matching
+the paper's setup where "the adversary only solves RB challenges to add
+IDs to the system" (Section 10.1).
+"""
+
+from repro.adversary.base import Adversary, PassiveAdversary
+from repro.adversary.budget import ResourceBudget
+from repro.adversary.strategies import (
+    BurstyJoinAdversary,
+    GreedyJoinAdversary,
+    LowerBoundAdversary,
+    MaintenanceAdversary,
+    PersistentFractionAdversary,
+    PurgeSurvivorAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "BurstyJoinAdversary",
+    "GreedyJoinAdversary",
+    "LowerBoundAdversary",
+    "MaintenanceAdversary",
+    "PassiveAdversary",
+    "PersistentFractionAdversary",
+    "PurgeSurvivorAdversary",
+    "ResourceBudget",
+]

@@ -1,0 +1,134 @@
+"""Adaptive attack strategies beyond the paper's experiments.
+
+The paper's adversary model is adaptive (Section 2: "makes these timing
+choices adaptively over time"), but its experiments only exercise the
+greedy flooder.  These strategies probe Ergo harder:
+
+* :class:`PurgeChaser` -- floods immediately after each purge, when the
+  entrance window has just been cleared and the iteration counter is at
+  zero, then goes quiet.  This is the cheapest possible timing for
+  joins and the fastest route to the next purge.
+* :class:`EstimateInflater` -- alternates flooding (to drag GoodJEst's
+  intervals short and its estimate high, shrinking the window 1/J̃) with
+  exploitation bursts while the window is small.
+* :class:`SlowDrip` -- joins just below the purge-trigger pace, trying
+  to accumulate standing Sybils between purges without ever causing one.
+
+Tests verify the 3κ bound survives all of them (Lemma 9 holds for *any*
+adversary within the model, so a violation would be an implementation
+bug).  Experiments can compare their cost-effectiveness against the
+greedy flooder: a well-implemented Ergo makes none of them
+asymptotically better.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary
+from repro.adversary.budget import ResourceBudget
+
+
+class PurgeChaser(Adversary):
+    """Times its floods to land right after purges.
+
+    The defense's purge count is observable (purges are global events),
+    so the chaser floods only when a new purge has happened since its
+    last burst -- joining into an empty window and a fresh iteration.
+    """
+
+    name = "purge-chaser"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.budget = ResourceBudget(rate)
+        self._last_seen_purges = -1
+
+    def act(self, now: float) -> None:
+        self.budget.accrue(now)
+        purge_count = getattr(self.defense, "purge_count", None)
+        if purge_count is None:
+            return
+        if purge_count == self._last_seen_purges:
+            return
+        self._last_seen_purges = purge_count
+        while True:
+            reserve = self.budget.reserve_all()
+            attempted, cost = self.defense.process_bad_join_batch(reserve)
+            self.budget.refund(reserve - cost)
+            if attempted == 0:
+                return
+            # Flooding may itself trigger a purge; keep chasing it.
+            self._last_seen_purges = getattr(self.defense, "purge_count", 0)
+
+
+class EstimateInflater(Adversary):
+    """Alternates inflation floods and exploitation bursts.
+
+    Phase A (inflate): spend hard to force membership churn, ending
+    GoodJEst intervals quickly; short intervals produce large estimates
+    J̃ = |S|/(t'−t), which shrink the entrance window to 1/J̃.
+    Phase B (exploit): with a tiny window, joins rarely see each other,
+    so each Sybil costs ~1.
+
+    GoodJEst's defense against this is structural: inflating requires
+    real symmetric-difference churn, which purges mostly cancel (evicted
+    post-snapshot Sybils drop back out of the difference), so the paid
+    inflation mostly evaporates.
+    """
+
+    name = "estimate-inflater"
+
+    def __init__(self, rate: float, phase_length: float = 30.0) -> None:
+        super().__init__()
+        if phase_length <= 0:
+            raise ValueError(f"phase length must be positive: {phase_length}")
+        self.budget = ResourceBudget(rate)
+        self.phase_length = float(phase_length)
+
+    def _in_inflation_phase(self, now: float) -> bool:
+        return int(now / self.phase_length) % 2 == 0
+
+    def act(self, now: float) -> None:
+        self.budget.accrue(now)
+        if self._in_inflation_phase(now):
+            spendable = self.budget.available * 0.8
+        else:
+            spendable = self.budget.available
+        reserve = self.budget.reserve(spendable)
+        attempted, cost = self.defense.process_bad_join_batch(reserve)
+        self.budget.refund(reserve - cost)
+
+
+class SlowDrip(Adversary):
+    """Joins just slowly enough to (try to) avoid triggering purges.
+
+    Watches the defense's events-until-purge headroom and keeps its
+    standing below a safety margin of it.  Against Ergo this caps the
+    adversary at < |S|/11 standing Sybils per iteration -- but good
+    churn still advances the iteration, so purges happen anyway and the
+    drip never accumulates; the bound holds with room to spare.
+    """
+
+    name = "slow-drip"
+
+    def __init__(self, rate: float, safety_margin: float = 0.5) -> None:
+        super().__init__()
+        if not 0 < safety_margin <= 1:
+            raise ValueError(f"safety margin must be in (0,1]: {safety_margin}")
+        self.budget = ResourceBudget(rate)
+        self.safety_margin = float(safety_margin)
+
+    def act(self, now: float) -> None:
+        self.budget.accrue(now)
+        headroom_fn = getattr(self.defense, "_events_until_purge", None)
+        if headroom_fn is None:
+            return
+        headroom = int(headroom_fn() * self.safety_margin)
+        if headroom <= 1:
+            return
+        # Spend at most what `headroom` joins could cost at the current
+        # quote (an overestimate caps the batch naturally).
+        quote = self.defense.quote_entrance_cost()
+        spendable = min(self.budget.available, headroom * quote)
+        reserve = self.budget.reserve(spendable)
+        attempted, cost = self.defense.process_bad_join_batch(reserve)
+        self.budget.refund(reserve - cost)

@@ -1,0 +1,64 @@
+"""The adversary interface and the no-op adversary."""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import Defense
+    from repro.sim.engine import Simulation
+
+
+class Adversary(abc.ABC):
+    """Base class for Sybil attack strategies.
+
+    The engine calls :meth:`act` whenever simulation time advances (at
+    every event and at periodic ticks), giving the strategy a chance to
+    inject Sybil IDs.  Defenses call :meth:`respond_to_purge` and
+    :meth:`fund_maintenance` when their mechanisms demand payment from
+    standing bad IDs.
+    """
+
+    name = "adversary"
+
+    def __init__(self) -> None:
+        self.sim: "Simulation" = None
+        self.defense: "Defense" = None
+        self._rng = None
+
+    def bind(self, sim: "Simulation", defense: "Defense") -> None:
+        self.sim = sim
+        self.defense = defense
+        self._rng = sim.rngs.stream(f"adversary.{self.name}")
+        defense.register_adversary(self)
+
+    @abc.abstractmethod
+    def act(self, now: float) -> None:
+        """Opportunity to attack at time ``now`` (called very often)."""
+
+    def respond_to_purge(self, bad_count: int, max_keep: int, now: float) -> int:
+        """How many bad IDs the adversary pays 1 each to keep at a purge.
+
+        The default matches the paper's experimental assumption: the
+        adversary spends only on joins, so it keeps none.
+        """
+        return 0
+
+    def fund_maintenance(self, bad_count: int, cost_per_id: float, now: float) -> int:
+        """How many standing bad IDs get their recurring fees paid.
+
+        Used by SybilControl (periodic neighbor tests) and REMP
+        (recurring challenges).  Unfunded IDs are evicted.  The default
+        funds none.
+        """
+        return 0
+
+
+class PassiveAdversary(Adversary):
+    """An adversary that never attacks (the T = 0 baseline)."""
+
+    name = "passive"
+
+    def act(self, now: float) -> None:
+        return None

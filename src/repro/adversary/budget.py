@@ -1,0 +1,76 @@
+"""The adversary's resource budget.
+
+The adversary's spend rate ``T`` (Section 3) accrues continuously; a
+strategy spends accrued budget on entrance challenges, purge responses,
+or recurring maintenance (for the SybilControl/REMP baselines).
+"""
+
+from __future__ import annotations
+
+
+class ResourceBudget:
+    """Continuously accruing budget with an optional initial endowment."""
+
+    def __init__(self, rate: float, initial: float = 0.0) -> None:
+        if rate < 0:
+            raise ValueError(f"negative budget rate: {rate}")
+        self.rate = float(rate)
+        self._available = float(initial)
+        self._accrued_until = 0.0
+        self._spent = 0.0
+
+    def accrue(self, now: float) -> None:
+        """Credit the budget for time elapsed since the last accrual."""
+        if now < self._accrued_until:
+            raise ValueError(
+                f"accrual time moved backwards: {now} < {self._accrued_until}"
+            )
+        self._available += self.rate * (now - self._accrued_until)
+        self._accrued_until = now
+
+    @property
+    def available(self) -> float:
+        return self._available
+
+    @property
+    def spent(self) -> float:
+        return self._spent
+
+    def can_afford(self, amount: float) -> bool:
+        return self._available >= amount
+
+    def spend(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative spend: {amount}")
+        if amount > self._available + 1e-9:
+            raise ValueError(
+                f"overspend: {amount} > available {self._available}"
+            )
+        self._available -= amount
+        self._spent += amount
+
+    def reserve(self, amount: float) -> float:
+        """Withdraw up to ``amount`` (pair with :meth:`refund`).
+
+        Strategies reserve before handing a budget to
+        ``process_bad_join_batch`` so that concurrent spending (e.g.
+        paying to survive a purge triggered mid-batch) cannot overdraw.
+        Returns the amount actually withdrawn.
+        """
+        if amount < 0:
+            raise ValueError(f"negative reservation: {amount}")
+        taken = min(amount, self._available)
+        self._available -= taken
+        self._spent += taken
+        return taken
+
+    def reserve_all(self) -> float:
+        """Withdraw the full available balance (pair with :meth:`refund`)."""
+        return self.reserve(self._available)
+
+    def refund(self, amount: float) -> None:
+        """Return the unspent part of a reservation."""
+        if amount < 0:
+            raise ValueError(f"negative refund: {amount}")
+        self._available += amount
+        self._spent -= amount

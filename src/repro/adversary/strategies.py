@@ -1,0 +1,206 @@
+"""Concrete adversary strategies.
+
+* :class:`GreedyJoinAdversary` -- burns budget on entrance challenges as
+  fast as it accrues (the Figure-8/10 attack; also the Section 11
+  lower-bound strategy's join phase).
+* :class:`BurstyJoinAdversary` -- saves budget and floods periodically,
+  stressing the entrance-cost window.
+* :class:`PurgeSurvivorAdversary` -- additionally pays 1 per kept ID at
+  purges, up to the κ-fraction bound (exercises Lemma 8/9).
+* :class:`MaintenanceAdversary` -- for recurring-cost baselines
+  (SybilControl, REMP): sustains the largest standing Sybil population
+  its rate affords.
+* :class:`PersistentFractionAdversary` -- keeps the bad fraction pinned
+  at a target value (the Figure-9 estimation experiments).
+* :class:`LowerBoundAdversary` -- the Theorem 3 strategy: join uniformly
+  at the maximum affordable rate, drop out at every purge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.base import Adversary
+from repro.adversary.budget import ResourceBudget
+
+
+class GreedyJoinAdversary(Adversary):
+    """Joins Sybil IDs whenever the accrued budget covers the cost."""
+
+    name = "greedy-join"
+
+    def __init__(self, rate: float, initial_budget: float = 0.0) -> None:
+        super().__init__()
+        self.budget = ResourceBudget(rate, initial=initial_budget)
+
+    def act(self, now: float) -> None:
+        self.budget.accrue(now)
+        while True:
+            reserve = self.budget.reserve_all()
+            attempted, cost = self.defense.process_bad_join_batch(reserve)
+            self.budget.refund(reserve - cost)
+            if attempted == 0:
+                return
+
+
+class LowerBoundAdversary(GreedyJoinAdversary):
+    """The Section 11 strategy against B1-B3 algorithms.
+
+    "The adversary will have bad IDs join uniformly at the maximum rate
+    possible, and then have the bad IDs drop out during the purge."
+    Joining greedily as budget accrues yields exactly the uniform
+    maximum-rate schedule, and the inherited ``respond_to_purge`` keeps
+    nothing, so IDs drop out at every purge.
+    """
+
+    name = "lower-bound"
+
+
+class BurstyJoinAdversary(GreedyJoinAdversary):
+    """Saves budget between bursts, then floods.
+
+    Exercises Ergo's quadratic window pricing: a burst of x joins within
+    one ``1/J̃`` window costs Θ(x²) (Section 7.1).
+    """
+
+    name = "bursty-join"
+
+    def __init__(self, rate: float, burst_period: float) -> None:
+        super().__init__(rate)
+        if burst_period <= 0:
+            raise ValueError(f"burst period must be positive: {burst_period}")
+        self.burst_period = float(burst_period)
+        self._next_burst = 0.0
+
+    def act(self, now: float) -> None:
+        self.budget.accrue(now)
+        if now < self._next_burst:
+            return
+        self._next_burst = now + self.burst_period
+        while True:
+            reserve = self.budget.reserve_all()
+            attempted, cost = self.defense.process_bad_join_batch(reserve)
+            self.budget.refund(reserve - cost)
+            if attempted == 0:
+                return
+
+
+class PurgeSurvivorAdversary(GreedyJoinAdversary):
+    """Greedy joiner that also pays to survive purges.
+
+    At a purge it keeps as many bad IDs as its remaining budget and the
+    κ-fraction bound allow (1 unit per kept ID).  This is the worst case
+    for the 3κ bad-fraction bound (Lemma 9).  Half of the accrued budget
+    is kept liquid for purge payments; the other half floods joins.
+    """
+
+    name = "purge-survivor"
+
+    #: Fraction of available budget kept liquid for purge survival.
+    purge_reserve_fraction = 0.5
+
+    def act(self, now: float) -> None:
+        self.budget.accrue(now)
+        while True:
+            spendable = self.budget.available * (1 - self.purge_reserve_fraction)
+            reserve = self.budget.reserve(spendable)
+            attempted, cost = self.defense.process_bad_join_batch(reserve)
+            self.budget.refund(reserve - cost)
+            if attempted == 0:
+                return
+
+    def respond_to_purge(self, bad_count: int, max_keep: int, now: float) -> int:
+        keep = min(bad_count, max_keep, int(self.budget.available))
+        if keep > 0:
+            self.budget.spend(float(keep))
+        return keep
+
+
+class MaintenanceAdversary(Adversary):
+    """Sustains the largest standing Sybil population its rate affords.
+
+    Intended for defenses with recurring per-ID costs (SybilControl,
+    REMP), which expose ``recurring_cost_rate_per_id()``.  Each
+    activation it (1) tops the population up toward the sustainable
+    target and (2) answers maintenance funding requests from the
+    defense, paying for as many standing IDs as it can.
+    """
+
+    name = "maintenance"
+
+    #: Fraction of the spend rate committed to maintenance.  Targeting
+    #: 100% leaves nothing to replace evicted IDs, so the population
+    #: death-spirals; a small headroom keeps it stable near the maximum.
+    utilization = 0.9
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.budget = ResourceBudget(rate)
+
+    def _sustainable_target(self) -> int:
+        cost_rate = self.defense.recurring_cost_rate_per_id()
+        if cost_rate <= 0:
+            return 0
+        return int(self.utilization * self.budget.rate / cost_rate)
+
+    def act(self, now: float) -> None:
+        self.budget.accrue(now)
+        deficit = self._sustainable_target() - self.defense.bad_count()
+        if deficit <= 0:
+            return
+        join_cost = self.defense.quote_entrance_cost()
+        spendable = min(self.budget.available, deficit * join_cost)
+        attempted, cost = self.defense.process_bad_join_batch(spendable)
+        if attempted:
+            self.budget.spend(cost)
+
+    def fund_maintenance(self, bad_count: int, cost_per_id: float, now: float) -> int:
+        self.budget.accrue(now)
+        if cost_per_id <= 0:
+            return bad_count
+        fundable = min(bad_count, int(self.budget.available / cost_per_id))
+        if fundable > 0:
+            self.budget.spend(fundable * cost_per_id)
+        return fundable
+
+
+class PersistentFractionAdversary(Adversary):
+    """Pins the bad fraction at a target value (Figure 9's setup).
+
+    "We experiment with different fractions of bad IDs that persist in
+    the system" (Section 10.2).  Requires a defense exposing
+    ``force_bad_join(count)`` (the estimation harness); tops the Sybil
+    population up after every activation so that
+    ``bad / (good + bad) = fraction``.
+    """
+
+    name = "persistent-fraction"
+
+    def __init__(self, fraction: float, spend_rate: Optional[float] = None) -> None:
+        super().__init__()
+        if not 0 <= fraction < 1:
+            raise ValueError(f"fraction must be in [0, 1): {fraction}")
+        self.fraction = float(fraction)
+        #: optional flooding budget on top of the persistent population
+        self.budget = ResourceBudget(spend_rate) if spend_rate else None
+
+    def act(self, now: float) -> None:
+        good = self.defense.good_count()
+        bad = self.defense.bad_count()
+        if self.fraction > 0 and good > 0:
+            target = int(self.fraction / (1.0 - self.fraction) * good)
+            if bad < target:
+                self.defense.force_bad_join(target - bad)
+        if self.budget is not None:
+            self.budget.accrue(now)
+            while True:
+                reserve = self.budget.reserve_all()
+                attempted, cost = self.defense.process_bad_join_batch(reserve)
+                self.budget.refund(reserve - cost)
+                if attempted == 0:
+                    break
+
+    def respond_to_purge(self, bad_count: int, max_keep: int, now: float) -> int:
+        # The persistent population re-establishes itself after the purge
+        # via act(); no need to pay to survive.
+        return 0

@@ -1,0 +1,38 @@
+"""Theory library and reporting utilities.
+
+* :mod:`repro.analysis.bounds` -- closed forms of Theorems 1-4 and the
+  GoodJEst envelope (Theorem 2, Lemmas 5/7), used by tests to check
+  simulated behaviour against the analysis.
+* :mod:`repro.analysis.lower_bound` -- the Theorem 3 lower bound
+  Ω(√(TJ) + J) for B1-B3 algorithms.
+* :mod:`repro.analysis.plotting` -- text/CSV "figures" (matplotlib is
+  unavailable offline).
+* :mod:`repro.analysis.stats` -- small statistical helpers.
+"""
+
+from repro.analysis.bounds import (
+    ergo_spend_rate_bound,
+    goodjest_envelope,
+    intuition_spend_rate,
+)
+from repro.analysis.intervals import (
+    max_epochs_per_interval,
+    max_intervals_per_iteration,
+)
+from repro.analysis.lower_bound import lower_bound_spend_rate
+from repro.analysis.plotting import ascii_loglog_plot, format_table, series_to_csv
+from repro.analysis.validation import ValidationReport, validate_run
+
+__all__ = [
+    "ValidationReport",
+    "ascii_loglog_plot",
+    "ergo_spend_rate_bound",
+    "format_table",
+    "goodjest_envelope",
+    "intuition_spend_rate",
+    "lower_bound_spend_rate",
+    "max_epochs_per_interval",
+    "max_intervals_per_iteration",
+    "series_to_csv",
+    "validate_run",
+]

@@ -1,0 +1,82 @@
+"""Closed-form bounds from the paper's analysis.
+
+These are the exact expressions of Theorems 1-2 and the Section 7.1
+intuition, with all constants.  Tests compare simulated quantities
+against them; experiments annotate results with them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def ergo_spend_rate_bound(
+    t_rate: float, j_rate: float, alpha: float = 1.0, beta: float = 1.0
+) -> float:
+    """Theorem 1's good-spend-rate upper bound (up to the big-O constant).
+
+    ``O(α^{11/2} β^7 √(T(J+1)) + α^{11} β^{14} J)``.
+    """
+    if t_rate < 0 or j_rate < 0:
+        raise ValueError("rates must be non-negative")
+    if alpha < 1 or beta < 1:
+        raise ValueError("alpha and beta must be >= 1")
+    first = alpha ** 5.5 * beta**7 * math.sqrt(t_rate * (j_rate + 1.0))
+    second = alpha**11 * beta**14 * j_rate
+    return first + second
+
+
+def intuition_spend_rate(t_rate: float, j_rate: float) -> float:
+    """The Section 7.1 balanced-cost expression ``2√(J·T)``.
+
+    "When ξ = J_a/J these two costs are balanced, and the good spend
+    rate ... is within a constant factor of 2√(J·T)."
+    """
+    if t_rate < 0 or j_rate < 0:
+        raise ValueError("rates must be non-negative")
+    return 2.0 * math.sqrt(j_rate * t_rate)
+
+
+@dataclass(frozen=True)
+class GoodJEstEnvelope:
+    """Theorem 2's multiplicative envelope around the true rate ρ."""
+
+    lower_factor: float
+    upper_factor: float
+
+    def contains(self, estimate: float, true_rate: float) -> bool:
+        if true_rate <= 0:
+            return False
+        ratio = estimate / true_rate
+        return self.lower_factor <= ratio <= self.upper_factor
+
+
+def goodjest_envelope(alpha: float = 1.0, beta: float = 1.0) -> GoodJEstEnvelope:
+    """Theorem 2: ``ρ/(88 α⁴ β³) ≤ J̃ ≤ 1867 α⁴ β⁵ ρ``."""
+    if alpha < 1 or beta < 1:
+        raise ValueError("alpha and beta must be >= 1")
+    return GoodJEstEnvelope(
+        lower_factor=1.0 / (88.0 * alpha**4 * beta**3),
+        upper_factor=1867.0 * alpha**4 * beta**5,
+    )
+
+
+def interval_estimate_envelope(beta: float = 1.0) -> GoodJEstEnvelope:
+    """Lemma 5: within one interval, ``J/21 ≤ J̃ ≤ 210 β² J``."""
+    if beta < 1:
+        raise ValueError("beta must be >= 1")
+    return GoodJEstEnvelope(lower_factor=1.0 / 21.0, upper_factor=210.0 * beta**2)
+
+
+def entrance_cost_asymmetry(bad_per_window: int) -> tuple[float, float]:
+    """Section 7.1's flood arithmetic.
+
+    With x bad joins per ``1/J̃`` window, the adversary pays at least
+    ``1 + 2 + ... + x = x(x+1)/2`` per window while the (last-arriving)
+    good joiner pays at most ``x + 1``.  Returns ``(adversary, good)``.
+    """
+    if bad_per_window < 0:
+        raise ValueError(f"negative count: {bad_per_window}")
+    x = bad_per_window
+    return x * (x + 1) / 2.0, float(x + 1)

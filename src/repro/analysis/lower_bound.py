@@ -1,0 +1,51 @@
+"""The Theorem 3 lower bound for B1-B3 algorithms (Section 11).
+
+Any defense that (B1) prices entry as a function of the good and bad
+join rates, (B2) runs iterations delineated by ``a + d ≥ δn``, and (B3)
+charges every ID Ω(1) per iteration end, can be forced by the
+join-and-drop adversary to spend at rate ``Ω(√(T·J) + J)``, where T is
+the *algorithm's* spend rate.  Ergo meets B1-B3, so Theorem 1 is
+asymptotically optimal in this class.
+
+:func:`lower_bound_spend_rate` gives the bound's value; the
+``experiments.lowerbound`` harness measures Ergo and CCom against it.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def lower_bound_spend_rate(t_rate: float, j_rate: float) -> float:
+    """``√(T·J) + J`` -- the Ω(·) expression with constant 1."""
+    if t_rate < 0 or j_rate < 0:
+        raise ValueError("rates must be non-negative")
+    return math.sqrt(t_rate * j_rate) + j_rate
+
+
+def optimal_bad_join_rate(t_rate: float, j_rate: float) -> float:
+    """The adversary's break-even Sybil join rate ``J_B = √(T·J)``.
+
+    From the Theorem 3 proof: if the entrance cost function satisfies
+    ``f(J_B, J) ≤ J_B/J`` the adversary achieves ``J_B ≥ √(TJ)`` (case
+    1); otherwise the algorithm's entrance spending alone reaches the
+    bound (case 2).  Either way ``√(TJ)`` is the pivotal rate.
+    """
+    if t_rate < 0 or j_rate < 0:
+        raise ValueError("rates must be non-negative")
+    return math.sqrt(t_rate * j_rate)
+
+
+def satisfies_lower_bound(
+    measured_spend_rate: float,
+    t_rate: float,
+    j_rate: float,
+    constant: float = 1.0 / 64.0,
+) -> bool:
+    """Is a measured spend rate consistent with Ω(√(TJ) + J)?
+
+    ``constant`` absorbs the Ω(·); the default is deliberately loose --
+    the point of the check is catching defenses that *beat* the bound
+    (which would falsify the theorem or reveal an accounting bug).
+    """
+    return measured_spend_rate >= constant * lower_bound_spend_rate(t_rate, j_rate)

@@ -1,0 +1,108 @@
+"""Text and CSV "figures".
+
+matplotlib is not available in the offline environment, so experiments
+emit (a) aligned tables, (b) log-log ASCII plots good enough to eyeball
+curve shapes (who wins, where the crossovers are), and (c) CSV series
+for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """A fixed-width table with right-aligned numeric columns."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_loglog_plot(
+    series: Dict[str, List[tuple]],
+    width: int = 72,
+    height: int = 22,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named (x, y) series on shared log-log axes.
+
+    Each series gets a marker character; points sharing a cell show the
+    series that was plotted last.  Zero/negative values are dropped
+    (log axes).
+    """
+    markers = "o*x+#@%&^~"
+    points: List[tuple] = []
+    cleaned: Dict[str, List[tuple]] = {}
+    for name, pts in series.items():
+        keep = [(x, y) for x, y in pts if x > 0 and y > 0]
+        cleaned[name] = keep
+        points.extend(keep)
+    if not points:
+        return f"{title}\n(no positive data to plot)"
+    log_x = [math.log10(x) for x, _ in points]
+    log_y = [math.log10(y) for _, y in points]
+    x_lo, x_hi = min(log_x), max(log_x)
+    y_lo, y_hi = min(log_y), max(log_y)
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(cleaned.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((math.log10(x) - x_lo) / x_span * (width - 1))
+            row = int((math.log10(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(cleaned)
+    )
+    out.write(legend + "\n")
+    out.write(f"{ylabel}: 1e{y_hi:.1f} (top) .. 1e{y_lo:.1f} (bottom)\n")
+    for line in grid:
+        out.write("|" + "".join(line) + "\n")
+    out.write("+" + "-" * width + "\n")
+    out.write(f"{xlabel}: 1e{x_lo:.1f} (left) .. 1e{x_hi:.1f} (right)\n")
+    return out.getvalue()
+
+
+def series_to_csv(
+    series: Dict[str, List[tuple]],
+    x_name: str = "x",
+    path: Optional[str] = None,
+) -> str:
+    """Serialize named series to ``x,series,y`` CSV (returned; optionally written)."""
+    out = io.StringIO()
+    out.write(f"{x_name},series,y\n")
+    for name, pts in series.items():
+        for x, y in pts:
+            out.write(f"{x!r},{name},{y!r}\n")
+    text = out.getvalue()
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

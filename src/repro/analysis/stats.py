@@ -1,0 +1,59 @@
+"""Small statistical helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("empty sequence")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values: {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def log_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) vs log(x).
+
+    Used to check growth exponents: Ergo's spend rate should grow
+    ~T^0.5 at large T, CCom's ~T^1.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need >= 2 paired points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    var = sum((a - mean_x) ** 2 for a in lx)
+    if var == 0:
+        raise ValueError("x values are all equal")
+    return cov / var
+
+
+def max_ratio_spread(values: Sequence[float]) -> float:
+    """max/min over positive values (1.0 = perfectly flat)."""
+    if not values:
+        raise ValueError("empty sequence")
+    low = min(values)
+    high = max(values)
+    if low <= 0:
+        raise ValueError("values must be positive")
+    return high / low

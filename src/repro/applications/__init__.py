@@ -1,0 +1,27 @@
+"""Applications built on top of Ergo (the paper's future-work directions).
+
+* :mod:`repro.applications.dht` -- a Sybil-resistant Chord-style
+  distributed hash table (Section 13.2): Ergo bounds the Sybil fraction
+  below 1/6, and swarm-vouched routing turns that bound into
+  whp-correct lookups.
+* :mod:`repro.applications.incentives` -- the Section 13.1 sketch made
+  executable: a reward lottery over purge challenges plus automatic
+  difficulty retuning against hardware drift.
+* :mod:`repro.applications.ddos` -- application-layer DDoS mitigation
+  (Section 13.2's third direction): Ergo's estimate-and-price loop
+  transplanted from joins to server requests.
+"""
+
+from repro.applications.ddos import PricedJobQueue, RequestRateEstimator
+from repro.applications.dht import ChordRing, LookupResult, SybilResistantDHT
+from repro.applications.incentives import DifficultyController, PuzzleLottery
+
+__all__ = [
+    "ChordRing",
+    "DifficultyController",
+    "LookupResult",
+    "PricedJobQueue",
+    "PuzzleLottery",
+    "RequestRateEstimator",
+    "SybilResistantDHT",
+]

@@ -1,0 +1,153 @@
+"""Incentives for solving purge challenges (Section 13.1, made executable).
+
+The paper sketches: "during the purge, competition for a reward could be
+used to ensure that IDs actually commit sufficient resources to remain
+in the system.  If challenges are proof-of-work based, the ID that finds
+the smallest solution during this period could receive units of
+cryptocurrency ... the difficulty of a 1-hard puzzle could be tuned,
+based on measured computational effort, to automatically adjust to new,
+faster hardware."
+
+Two components:
+
+* :class:`PuzzleLottery` -- each participant's best PoW draw over a
+  purge round; the smallest digest wins the reward.  Every participant
+  has the same per-round chance (the draw is uniform), so expected
+  reward is proportional to participation -- the positive incentive.
+* :class:`DifficultyController` -- a multiplicative controller steering
+  measured solve times toward one round, absorbing hardware speedups
+  (the "new, faster hardware" adjustment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LotteryOutcome:
+    """One purge round's lottery result."""
+
+    winner: str
+    winning_draw: float
+    participants: int
+    reward: float
+
+
+class PuzzleLottery:
+    """Smallest-solution-wins competition over purge challenges.
+
+    Draws model the (uniform) distribution of best hash values found
+    within the round; the participant with the minimum draw wins.  The
+    lottery tracks cumulative rewards so tests can verify fairness: each
+    honest participant's expected reward per round is ``reward/n``.
+    """
+
+    def __init__(self, reward: float = 1.0) -> None:
+        if reward <= 0:
+            raise ValueError(f"reward must be positive: {reward}")
+        self.reward = float(reward)
+        self._winnings: Dict[str, float] = {}
+        self._rounds = 0
+
+    def run_round(
+        self, participants: List[str], rng: np.random.Generator
+    ) -> LotteryOutcome:
+        if not participants:
+            raise ValueError("lottery needs at least one participant")
+        draws = rng.random(len(participants))
+        index = int(np.argmin(draws))
+        winner = participants[index]
+        self._winnings[winner] = self._winnings.get(winner, 0.0) + self.reward
+        self._rounds += 1
+        return LotteryOutcome(
+            winner=winner,
+            winning_draw=float(draws[index]),
+            participants=len(participants),
+            reward=self.reward,
+        )
+
+    def winnings(self, ident: str) -> float:
+        return self._winnings.get(ident, 0.0)
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def expected_reward_per_round(self, population: int) -> float:
+        """An individual's fair expected reward with ``population`` peers."""
+        if population < 1:
+            raise ValueError("population must be >= 1")
+        return self.reward / population
+
+    def net_utility_per_round(self, population: int, solve_cost: float = 1.0) -> float:
+        """Expected reward minus the 1-hard solve cost.
+
+        A deployment picks ``reward >= population * solve_cost`` to make
+        participation rational (cf. block rewards in [17]).
+        """
+        return self.expected_reward_per_round(population) - solve_cost
+
+
+class DifficultyController:
+    """Retunes puzzle difficulty so a "1-hard" puzzle costs one round.
+
+    The model: solving a puzzle of difficulty ``d`` on hardware with
+    speed ``s`` takes ``d / s`` seconds.  The controller observes solve
+    times and multiplicatively adjusts difficulty toward the one-round
+    target, clamped per step to avoid oscillation -- the same shape as
+    Bitcoin's retargeting, at round granularity.
+    """
+
+    def __init__(
+        self,
+        target_solve_time: float = 1.0,
+        initial_difficulty: float = 1.0,
+        max_step: float = 2.0,
+        smoothing: int = 8,
+    ) -> None:
+        if target_solve_time <= 0 or initial_difficulty <= 0:
+            raise ValueError("target time and difficulty must be positive")
+        if max_step <= 1.0:
+            raise ValueError(f"max_step must exceed 1: {max_step}")
+        if smoothing < 1:
+            raise ValueError(f"smoothing must be >= 1: {smoothing}")
+        self.target = float(target_solve_time)
+        self.difficulty = float(initial_difficulty)
+        self.max_step = float(max_step)
+        self.smoothing = int(smoothing)
+        self._observations: List[float] = []
+        self.adjustments = 0
+
+    def observe_solve_time(self, seconds: float) -> Optional[float]:
+        """Record a measured solve time; retune after ``smoothing`` obs.
+
+        Returns the new difficulty when an adjustment happens.
+        """
+        if seconds <= 0:
+            raise ValueError(f"solve time must be positive: {seconds}")
+        self._observations.append(float(seconds))
+        if len(self._observations) < self.smoothing:
+            return None
+        mean_time = sum(self._observations) / len(self._observations)
+        self._observations.clear()
+        ratio = self.target / mean_time
+        ratio = min(max(ratio, 1.0 / self.max_step), self.max_step)
+        self.difficulty *= ratio
+        self.adjustments += 1
+        return self.difficulty
+
+    def solve_time_on(self, hardware_speed: float) -> float:
+        """Seconds the current difficulty takes on given hardware."""
+        if hardware_speed <= 0:
+            raise ValueError(f"hardware speed must be positive: {hardware_speed}")
+        return self.difficulty / hardware_speed
+
+    def converged(self, hardware_speed: float, tolerance: float = 0.1) -> bool:
+        """Is the solve time within ``tolerance`` of one round?"""
+        return abs(self.solve_time_on(hardware_speed) - self.target) <= (
+            tolerance * self.target
+        )

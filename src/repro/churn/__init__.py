@@ -1,0 +1,61 @@
+"""Churn substrate: the ABC model and the evaluation networks.
+
+* :mod:`repro.churn.abc_model` -- Definition 1 (α- and β-smoothness)
+  and the model's parameter bounds (n₀, ε, γ).
+* :mod:`repro.churn.epochs` -- epoch detection via the symmetric
+  difference of good-ID sets (Section 2.1.2).
+* :mod:`repro.churn.sessions` -- session-time distributions (Weibull,
+  exponential, log-normal) with equilibrium residual sampling for
+  steady-state initial populations.
+* :mod:`repro.churn.generators` -- Poisson and inhomogeneous-Poisson
+  join processes, plus exactly α,β-smooth synthetic traces.
+* :mod:`repro.churn.datasets` -- the four evaluation networks (Bitcoin,
+  BitTorrent, Ethereum, Gnutella) from Section 10.
+* :mod:`repro.churn.traces` -- materialized traces, statistics, CSV I/O.
+"""
+
+from repro.churn.abc_model import AbcParameters, minimum_n0
+from repro.churn.datasets import (
+    NETWORKS,
+    NetworkModel,
+    bitcoin,
+    bittorrent,
+    ethereum,
+    gnutella,
+)
+from repro.churn.epochs import Epoch, EpochTracker, find_epochs
+from repro.churn.generators import (
+    poisson_join_stream,
+    smooth_trace,
+)
+from repro.churn.sessions import (
+    EquilibriumResidualSampler,
+    ExponentialSessions,
+    LogNormalSessions,
+    WeibullSessions,
+)
+from repro.churn.traces import ChurnScenario, InitialMember, TraceStats, trace_stats
+
+__all__ = [
+    "AbcParameters",
+    "ChurnScenario",
+    "Epoch",
+    "EpochTracker",
+    "EquilibriumResidualSampler",
+    "ExponentialSessions",
+    "InitialMember",
+    "LogNormalSessions",
+    "NETWORKS",
+    "NetworkModel",
+    "TraceStats",
+    "WeibullSessions",
+    "bitcoin",
+    "bittorrent",
+    "ethereum",
+    "find_epochs",
+    "gnutella",
+    "minimum_n0",
+    "poisson_join_stream",
+    "smooth_trace",
+    "trace_stats",
+]

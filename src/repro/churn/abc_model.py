@@ -1,0 +1,84 @@
+"""The ABC (α,β-churn) model: Definition 1 and parameter bounds.
+
+Good churn is specified by two a-priori-unknown parameters:
+
+* **α-smoothness**: the good join rate between two consecutive epochs
+  differs by at most an α-factor: ``ρ_{i-1}/α ≤ ρ_i ≤ α·ρ_{i-1}``.
+* **β-smoothness**: over any ℓ consecutive seconds within epoch *i*, the
+  number of good joins lies in ``[⌊ℓρ_i/β⌋, ⌈βℓρ_i⌉]`` and the number of
+  good departures is at most ``⌈βℓρ_i⌉``.
+
+α captures how fast the rate changes *across* epochs (even α = 2 allows
+exponential growth/decay over many epochs); β captures burstiness
+*within* an epoch.
+
+The guarantees additionally require (Section 2.1.2, discussed in 9.3):
+
+* ``n₀ ≥ max(6000, (720(γ+1))^{4/3}, (41β)²)``,
+* at most an ε-fraction of good IDs departs per round, ε < 1/12,
+* a system lifetime of ``n₀^γ`` join/departure events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Epochs end when the good-set symmetric difference reaches half the
+#: good population at the epoch start (Section 2.1.2).
+EPOCH_THRESHOLD = 0.5
+
+#: Upper bound on the per-round good departure fraction.
+EPSILON_BOUND = 1.0 / 12.0
+
+
+def minimum_n0(gamma: float, beta: float) -> int:
+    """The smallest n₀ for which Theorems 1 and 2 hold.
+
+    ``n₀ ≥ max{6000, (720(γ+1))^{4/3}, (41β)²}`` (Section 2.1.2).
+    """
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive: {gamma}")
+    if beta < 1:
+        raise ValueError(f"beta must be >= 1: {beta}")
+    return max(
+        6000,
+        math.ceil((720.0 * (gamma + 1.0)) ** (4.0 / 3.0)),
+        math.ceil((41.0 * beta) ** 2),
+    )
+
+
+@dataclass(frozen=True)
+class AbcParameters:
+    """A declared (α, β) pair, with validity checks.
+
+    Definition 1 requires α ≥ 1 and β ≥ 1.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1.0:
+            raise ValueError(f"alpha must be >= 1: {self.alpha}")
+        if self.beta < 1.0:
+            raise ValueError(f"beta must be >= 1: {self.beta}")
+
+    def allows_rate_change(self, previous_rate: float, next_rate: float) -> bool:
+        """α-smoothness check between two consecutive epoch rates."""
+        if previous_rate <= 0 or next_rate <= 0:
+            return False
+        ratio = next_rate / previous_rate
+        return 1.0 / self.alpha - 1e-12 <= ratio <= self.alpha + 1e-12
+
+    def join_bounds(self, duration: float, rate: float) -> tuple[int, int]:
+        """The β-smoothness join-count window ``[⌊ℓρ/β⌋, ⌈βℓρ⌉]``."""
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        low = math.floor(duration * rate / self.beta)
+        high = math.ceil(self.beta * duration * rate)
+        return low, high
+
+    def departure_bound(self, duration: float, rate: float) -> int:
+        """The β-smoothness departure ceiling ``⌈βℓρ⌉``."""
+        return math.ceil(self.beta * duration * rate)

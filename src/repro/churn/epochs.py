@@ -1,0 +1,148 @@
+"""Epoch detection (Section 2.1.2).
+
+"Time is partitioned into epochs whose boundaries occur when the
+symmetric difference between the sets of good IDs at the start and the
+end of the epoch exceeds 1/2 times the number of good IDs at the
+start."  Protocols never *use* epoch boundaries (they are an analysis
+device), but the experiments need them to compute true per-epoch join
+rates ρ_i -- the denominator of Figure 9's estimate/true ratio -- and
+the smoothness measurements need them to compute α and β.
+
+Two implementations:
+
+* :class:`EpochTracker` -- online, driven by join/departure callbacks
+  (attachable to a defense's population view).
+* :func:`find_epochs` -- offline, over a materialized good-churn trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.churn.abc_model import EPOCH_THRESHOLD
+from repro.sim.events import Event, GoodDeparture, GoodJoin
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One completed (or in-progress) epoch."""
+
+    index: int
+    start: float
+    end: Optional[float]
+    joins: int
+    start_size: int
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    @property
+    def join_rate(self) -> Optional[float]:
+        """ρ_i: good joins divided by epoch length (Section 2.1.2)."""
+        duration = self.duration
+        if duration is None or duration <= 0:
+            return None
+        return self.joins / duration
+
+
+class EpochTracker:
+    """Online epoch detection over the good-ID set."""
+
+    def __init__(self, threshold: float = EPOCH_THRESHOLD) -> None:
+        self._threshold = float(threshold)
+        self._snapshot: Set[str] = set()
+        self._present: Set[str] = set()
+        self._departed_from_snapshot = 0
+        self._joined_since_snapshot: Set[str] = set()
+        self._epoch_start = 0.0
+        self._epoch_joins = 0
+        self._completed: List[Epoch] = []
+
+    def start(self, good_ids: List[str], now: float) -> None:
+        self._present = set(good_ids)
+        self._begin_epoch(now)
+
+    def _begin_epoch(self, now: float) -> None:
+        self._snapshot = set(self._present)
+        self._departed_from_snapshot = 0
+        self._joined_since_snapshot = set()
+        self._epoch_start = now
+        self._epoch_joins = 0
+
+    def on_join(self, ident: str, now: float) -> None:
+        self._present.add(ident)
+        self._joined_since_snapshot.add(ident)
+        self._epoch_joins += 1
+        self._maybe_roll(now)
+
+    def on_depart(self, ident: str, now: float) -> None:
+        if ident not in self._present:
+            return
+        self._present.discard(ident)
+        if ident in self._joined_since_snapshot:
+            self._joined_since_snapshot.discard(ident)
+        elif ident in self._snapshot:
+            self._snapshot.discard(ident)
+            self._departed_from_snapshot += 1
+        self._maybe_roll(now)
+
+    def _sym_diff(self) -> int:
+        return len(self._joined_since_snapshot) + self._departed_from_snapshot
+
+    def _maybe_roll(self, now: float) -> None:
+        start_size = len(self._snapshot) + self._departed_from_snapshot
+        if start_size == 0:
+            return
+        if self._sym_diff() <= self._threshold * start_size:
+            return
+        self._completed.append(
+            Epoch(
+                index=len(self._completed),
+                start=self._epoch_start,
+                end=now,
+                joins=self._epoch_joins,
+                start_size=start_size,
+            )
+        )
+        self._begin_epoch(now)
+
+    @property
+    def completed(self) -> List[Epoch]:
+        return list(self._completed)
+
+    def current_epoch_rate(self, now: float) -> Optional[float]:
+        """Join rate of the in-progress epoch so far (None if too fresh)."""
+        elapsed = now - self._epoch_start
+        if elapsed <= 0:
+            return None
+        return self._epoch_joins / elapsed
+
+
+def find_epochs(
+    events: List[Event],
+    initial_good: List[str],
+    start_time: float = 0.0,
+) -> List[Epoch]:
+    """Offline epoch detection over a materialized trace.
+
+    Departures with ``ident=None`` are not supported here (offline
+    analysis needs deterministic victims); generate traces with explicit
+    idents for epoch analysis.
+    """
+    tracker = EpochTracker()
+    tracker.start(initial_good, start_time)
+    counter = 0
+    for event in events:
+        if isinstance(event, GoodJoin):
+            counter += 1
+            ident = event.ident if event.ident is not None else f"anon-{counter}"
+            tracker.on_join(ident, event.time)
+        elif isinstance(event, GoodDeparture):
+            if event.ident is None:
+                raise ValueError("offline epoch analysis needs explicit idents")
+            tracker.on_depart(event.ident, event.time)
+    return tracker.completed

@@ -1,0 +1,136 @@
+"""Measuring α and β of a trace (Definition 1).
+
+The ABC model's parameters are a priori unknown; these utilities compute
+the smallest (α, β) a given trace satisfies, so experiments can report
+effective smoothness and tests can verify that generated traces respect
+the parameters they were built with.
+
+* α: the maximum ratio between consecutive epochs' join rates (and its
+  inverse), over all completed epochs.
+* β: for each probed duration ℓ inside an epoch with rate ρ, Definition
+  1 demands ``⌊ℓρ/β⌋ ≤ joins ≤ ⌈βℓρ⌉`` and ``departures ≤ ⌈βℓρ⌉``; the
+  measured β is the smallest value satisfying all probes.  Probing every
+  (start, length) pair is quadratic, so we scan a configurable set of
+  window lengths with sliding windows -- exact for those lengths, a
+  lower bound on the true β overall.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.churn.epochs import Epoch
+from repro.sim.events import Event, GoodDeparture, GoodJoin
+
+
+@dataclass(frozen=True)
+class SmoothnessEstimate:
+    """Measured (α, β) for a trace."""
+
+    alpha: float
+    beta: float
+    epochs: int
+
+
+def measure_alpha(epochs: Sequence[Epoch]) -> float:
+    """Smallest α such that consecutive epoch rates are α-smooth."""
+    alpha = 1.0
+    previous: Optional[float] = None
+    for epoch in epochs:
+        rate = epoch.join_rate
+        if rate is None or rate <= 0:
+            continue
+        if previous is not None and previous > 0:
+            ratio = rate / previous
+            alpha = max(alpha, ratio, 1.0 / ratio)
+        previous = rate
+    return alpha
+
+
+def _beta_for_count(count: int, expected: float, departures: bool) -> float:
+    """Smallest β making one window's count legal under Definition 1."""
+    if expected <= 0:
+        return 1.0
+    beta = 1.0
+    # Upper constraint: count ≤ ⌈β·expected⌉  ⇒  β ≥ (count − 1)/expected
+    # (using the ceiling's slack of strictly less than 1).
+    if count > math.ceil(expected):
+        beta = max(beta, (count - 1) / expected)
+    if departures:
+        return beta
+    # Lower constraint: count ≥ ⌊expected/β⌋  ⇒  β ≥ expected/(count + 1).
+    if count < math.floor(expected):
+        beta = max(beta, expected / (count + 1))
+    return beta
+
+
+def measure_beta(
+    events: Sequence[Event],
+    epochs: Sequence[Epoch],
+    window_lengths: Optional[Sequence[float]] = None,
+) -> float:
+    """Smallest β satisfying Definition 1 for the probed window lengths."""
+    join_times = sorted(e.time for e in events if isinstance(e, GoodJoin))
+    depart_times = sorted(e.time for e in events if isinstance(e, GoodDeparture))
+    beta = 1.0
+    for epoch in epochs:
+        rate = epoch.join_rate
+        if rate is None or rate <= 0 or epoch.end is None:
+            continue
+        duration = epoch.end - epoch.start
+        lengths = window_lengths
+        if lengths is None:
+            lengths = [duration / 8, duration / 4, duration / 2, duration]
+        for length in lengths:
+            if length <= 0 or length > duration:
+                continue
+            beta = max(
+                beta,
+                _scan_windows(join_times, epoch, length, rate, departures=False),
+                _scan_windows(depart_times, epoch, length, rate, departures=True),
+            )
+    return beta
+
+
+def _scan_windows(
+    times: List[float], epoch: Epoch, length: float, rate: float, departures: bool
+) -> float:
+    """Slide a window of ``length`` across the epoch; worst-case β."""
+    expected = length * rate
+    beta = 1.0
+    start = epoch.start
+    step = max(length / 4.0, 1e-9)
+    while start + length <= epoch.end + 1e-12:
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_right(times, start + length)
+        beta = max(beta, _beta_for_count(hi - lo, expected, departures))
+        start += step
+    return beta
+
+
+def estimate_smoothness(
+    events: Sequence[Event],
+    epochs: Sequence[Epoch],
+    window_lengths: Optional[Sequence[float]] = None,
+) -> SmoothnessEstimate:
+    """Measured (α, β) over a trace's completed epochs."""
+    return SmoothnessEstimate(
+        alpha=measure_alpha(epochs),
+        beta=measure_beta(events, epochs, window_lengths),
+        epochs=len(epochs),
+    )
+
+
+def verify_smoothness(
+    events: Sequence[Event],
+    epochs: Sequence[Epoch],
+    alpha: float,
+    beta: float,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Does the trace satisfy Definition 1 for the declared (α, β)?"""
+    measured = estimate_smoothness(events, epochs)
+    return measured.alpha <= alpha + tolerance and measured.beta <= beta + tolerance

@@ -1,0 +1,122 @@
+"""Materialized churn traces: containers, statistics, CSV round-trips."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.sim.events import Event, GoodDeparture, GoodJoin
+
+
+@dataclass(frozen=True)
+class InitialMember:
+    """A good ID present at time zero, with its residual session time."""
+
+    ident: str
+    residual: Optional[float] = None
+
+
+@dataclass
+class ChurnScenario:
+    """An initial population plus a stream of good-churn events.
+
+    ``events`` may be a list (replayable) or a lazy iterator (single
+    use); :meth:`materialize` forces a list so the scenario can be fed
+    to several defenses for apples-to-apples comparisons.
+    """
+
+    name: str
+    initial: List[InitialMember]
+    events: Union[Sequence[Event], Iterator[Event]]
+    description: str = ""
+
+    def materialize(self) -> "ChurnScenario":
+        if not isinstance(self.events, list):
+            self.events = list(self.events)
+        return self
+
+    def replay(self) -> Iterator[Event]:
+        """Iterate events; requires a materialized scenario."""
+        if not isinstance(self.events, list):
+            raise TypeError("call materialize() before replaying a scenario")
+        return iter(self.events)
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a materialized event list."""
+
+    joins: int = 0
+    departures: int = 0
+    first_time: float = 0.0
+    last_time: float = 0.0
+    mean_session: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return max(self.last_time - self.first_time, 0.0)
+
+    @property
+    def join_rate(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.joins / self.duration
+
+
+def trace_stats(events: Iterable[Event]) -> TraceStats:
+    """Compute joins/departures/rates for an event sequence."""
+    stats = TraceStats()
+    sessions: List[float] = []
+    first: Optional[float] = None
+    last = 0.0
+    for event in events:
+        if first is None:
+            first = event.time
+        last = max(last, event.time)
+        if isinstance(event, GoodJoin):
+            stats.joins += 1
+            if event.session is not None:
+                sessions.append(event.session)
+        elif isinstance(event, GoodDeparture):
+            stats.departures += 1
+    stats.first_time = first if first is not None else 0.0
+    stats.last_time = last
+    if sessions:
+        stats.mean_session = sum(sessions) / len(sessions)
+    return stats
+
+
+def save_trace_csv(path: Union[str, Path], events: Sequence[Event]) -> None:
+    """Write a trace as ``time,kind,ident,session`` rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "kind", "ident", "session"])
+        for event in events:
+            if isinstance(event, GoodJoin):
+                writer.writerow(
+                    [f"{event.time:.6f}", "join", event.ident or "", event.session or ""]
+                )
+            elif isinstance(event, GoodDeparture):
+                writer.writerow([f"{event.time:.6f}", "depart", event.ident or "", ""])
+            else:
+                raise TypeError(f"cannot serialize event type {type(event).__name__}")
+
+
+def load_trace_csv(path: Union[str, Path]) -> List[Event]:
+    """Read a trace written by :func:`save_trace_csv`."""
+    events: List[Event] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            time = float(row["time"])
+            ident = row["ident"] or None
+            if row["kind"] == "join":
+                session = float(row["session"]) if row["session"] else None
+                events.append(GoodJoin(time=time, ident=ident, session=session))
+            elif row["kind"] == "depart":
+                events.append(GoodDeparture(time=time, ident=ident))
+            else:
+                raise ValueError(f"unknown event kind {row['kind']!r}")
+    return events

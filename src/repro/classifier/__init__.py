@@ -1,0 +1,32 @@
+"""Sybil classifiers (Section 6 and the ERGO-SF heuristic of Section 10).
+
+Classification alone cannot solve DefID -- "a classifier that is wrong
+with even a small probability ... still allows the adversary to obtain a
+bad majority over a large number of attempted join events" -- but gating
+Ergo's admissions with a classifier reduces costs by up to three orders
+of magnitude (Figures 8 and 10) while Ergo's purges preserve the
+worst-case guarantee.
+
+* :mod:`repro.classifier.bernoulli` -- the scalar-accuracy model the
+  paper's experiments plug in (SybilFuse's reported 0.98 / 0.92).
+* :mod:`repro.classifier.social_graph` -- synthetic social networks
+  (benign region + Sybil region joined by limited attack edges).
+* :mod:`repro.classifier.sybilfuse` -- an executable SybilFuse-style
+  pipeline: local priors, weighted trust propagation, thresholding; it
+  exposes the same interface with a *measured* confusion matrix.
+"""
+
+from repro.classifier.base import Classifier
+from repro.classifier.bernoulli import BernoulliClassifier
+from repro.classifier.social_graph import SocialGraph, synthesize_social_graph
+from repro.classifier.sybilfuse import GraphClassifier, SybilFuseScores, run_sybilfuse
+
+__all__ = [
+    "BernoulliClassifier",
+    "Classifier",
+    "GraphClassifier",
+    "SocialGraph",
+    "SybilFuseScores",
+    "run_sybilfuse",
+    "synthesize_social_graph",
+]

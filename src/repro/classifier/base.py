@@ -1,0 +1,35 @@
+"""The classifier interface consumed by Ergo (Heuristic 4)."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Classifier(abc.ABC):
+    """Classifies joining IDs as good (admit) or Sybil (refuse).
+
+    Ergo consults the classifier *after* the joiner pays its entrance
+    challenge: a refused Sybil still costs the adversary its fee, which
+    is what lets the classifier cut good-ID costs (fewer Sybils inside
+    means fewer purges and less entrance-cost congestion) without
+    weakening the RB-based guarantee.
+    """
+
+    @abc.abstractmethod
+    def classify_good(self, rng: np.random.Generator) -> bool:
+        """True iff a *good* joiner is (correctly) classified good."""
+
+    @property
+    @abc.abstractmethod
+    def bad_admit_probability(self) -> float:
+        """P(a Sybil joiner is misclassified as good and admitted)."""
+
+    def admit_bad_batch(self, count: int, rng: np.random.Generator) -> int:
+        """How many of ``count`` Sybil join attempts slip through."""
+        if count < 0:
+            raise ValueError(f"negative count: {count}")
+        if count == 0:
+            return 0
+        return int(rng.binomial(count, self.bad_admit_probability))

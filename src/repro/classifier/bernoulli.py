@@ -1,0 +1,31 @@
+"""Scalar-accuracy classifier (the paper's experimental model).
+
+"We assume a classification accuracy of 0.98, which is the average
+accuracy reported in [41] for experiments run over both synthetic and
+real-world data." (Section 10.1.)  ERGO-SF(92) uses 0.92 (Section 10.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifier.base import Classifier
+
+
+class BernoulliClassifier(Classifier):
+    """Classifies correctly with a fixed probability, independently."""
+
+    def __init__(self, accuracy: float) -> None:
+        if not 0.0 < accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in (0, 1]: {accuracy}")
+        self.accuracy = float(accuracy)
+
+    def classify_good(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.accuracy)
+
+    @property
+    def bad_admit_probability(self) -> float:
+        return 1.0 - self.accuracy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BernoulliClassifier(accuracy={self.accuracy})"

@@ -1,0 +1,34 @@
+"""Decentralizing Ergo (Section 12).
+
+Without a central server, a Θ(log n₀)-sized committee with a good
+majority takes over the server's duties:
+
+* :mod:`repro.committee.genid` -- system initialization: a GenID
+  solution gives all good IDs an agreed initial set with at most a
+  κ-fraction bad, plus an initial committee.
+* :mod:`repro.committee.smr` -- synchronous state-machine replication:
+  the committee agrees on a total order of join/departure events, which
+  is what lets GoodJEst and Ergo run unchanged on top.
+* :mod:`repro.committee.election` -- at the end of every iteration the
+  old committee elects a new one of size C·log(N_i) uniformly at random
+  (via simulated secure multiparty coin flipping); Lemma 18 gives a 7/8
+  good fraction with high probability.
+* :mod:`repro.committee.decentralized` -- :class:`DecentralizedErgo`,
+  Ergo plus committee maintenance, providing Theorem 4's guarantees.
+"""
+
+from repro.committee.decentralized import CommitteeRecord, DecentralizedErgo
+from repro.committee.election import Committee, elect_committee
+from repro.committee.genid import GenIDResult, run_genid
+from repro.committee.smr import ReplicatedLog, Replica
+
+__all__ = [
+    "Committee",
+    "CommitteeRecord",
+    "DecentralizedErgo",
+    "GenIDResult",
+    "Replica",
+    "ReplicatedLog",
+    "elect_committee",
+    "run_genid",
+]

@@ -1,0 +1,100 @@
+"""Decentralized Ergo (Section 12): committee-maintained membership.
+
+:class:`DecentralizedErgo` extends Ergo with the committee life cycle:
+
+* at bootstrap, a GenID execution agrees on the initial set and elects
+  the initial committee;
+* at the end of *every iteration* (purged or gated), the old committee
+  elects a new committee of size C·log(N_i) by uniform sampling over
+  the current population;
+* committee compositions are recorded so Theorem 4 / Lemma 18's
+  invariants -- good fraction ≥ 7/8 and size Θ(log n₀), for all
+  iterations -- can be checked after a run.
+
+The protocol logic (entrance costs, purges, GoodJEst) is inherited
+unchanged: the committee merely replaces the server as the executor, and
+the SMR layer (:mod:`repro.committee.smr`) provides the agreed event
+order that the server's total order provided before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.committee.election import Committee, elect_committee
+from repro.core.ergo import Ergo, ErgoConfig
+
+
+@dataclass(frozen=True)
+class CommitteeRecord:
+    """Committee composition at one iteration boundary."""
+
+    iteration: int
+    time: float
+    committee: Committee
+    population: int
+
+
+class DecentralizedErgo(Ergo):
+    """Ergo run by a rotating committee instead of a server."""
+
+    name = "ERGO-decentralized"
+
+    def __init__(
+        self,
+        config: Optional[ErgoConfig] = None,
+        committee_constant: float = 12.0,
+    ) -> None:
+        super().__init__(config)
+        self.committee_constant = float(committee_constant)
+        self.committee_history: List[CommitteeRecord] = []
+        self._committee_rng = None
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self._committee_rng = sim.rngs.stream("committee.election")
+
+    def after_bootstrap(self, count: int) -> None:
+        super().after_bootstrap(count)
+        self._elect(reason="genid")
+
+    def _elect(self, reason: str) -> Committee:
+        committee = elect_committee(
+            good_count=self.population.good_count,
+            bad_count=self.population.bad_count,
+            rng=self._committee_rng,
+            constant=self.committee_constant,
+        )
+        self.committee_history.append(
+            CommitteeRecord(
+                iteration=self.iteration_count,
+                time=self.now,
+                committee=committee,
+                population=self.population.size,
+            )
+        )
+        return committee
+
+    def _finish_iteration(self, now: float) -> None:
+        super()._finish_iteration(now)
+        self._elect(reason="iteration-end")
+
+    # ------------------------------------------------------------------
+    # Theorem 4 / Lemma 18 checks
+    # ------------------------------------------------------------------
+    @property
+    def current_committee(self) -> Committee:
+        if not self.committee_history:
+            raise RuntimeError("no committee elected yet")
+        return self.committee_history[-1].committee
+
+    def all_committees_good_majority(self) -> bool:
+        return all(r.committee.has_good_majority for r in self.committee_history)
+
+    def all_committees_meet_lemma18(self) -> bool:
+        return all(r.committee.meets_lemma18 for r in self.committee_history)
+
+    def committee_size_range(self) -> tuple:
+        sizes = [r.committee.size for r in self.committee_history]
+        return min(sizes), max(sizes)

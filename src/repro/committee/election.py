@@ -1,0 +1,88 @@
+"""Committee election (Section 12.2).
+
+"A new committee is elected by the old committee at the end of each
+iteration ... the old committee selects a committee of size C·log N_i"
+uniformly at random, via classic secure multiparty computation (Rabin &
+Ben-Or [104]) so the adversary cannot bias the randomness.
+
+We simulate the election's *outcome distribution*: members are drawn
+uniformly without replacement from the current population, so the number
+of bad members is hypergeometric.  Lemma 18 shows the good fraction
+stays above 7/8 w.h.p. for C large enough; the tests and the committee
+experiment verify exactly that on simulated histories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Committee:
+    """One elected committee (composition only; members are symmetric)."""
+
+    size: int
+    good_members: int
+    bad_members: int
+
+    def __post_init__(self) -> None:
+        if self.good_members + self.bad_members != self.size:
+            raise ValueError("committee composition does not sum to size")
+
+    @property
+    def good_fraction(self) -> float:
+        if self.size == 0:
+            return 0.0
+        return self.good_members / self.size
+
+    @property
+    def has_good_majority(self) -> bool:
+        return self.good_members > self.size / 2
+
+    @property
+    def meets_lemma18(self) -> bool:
+        """Lemma 18's stronger bound: at least 7/8 good."""
+        return self.good_members >= (7.0 / 8.0) * self.size
+
+
+def committee_size(population: int, constant: float = 12.0) -> int:
+    """C·log(N), with a floor of 3 members."""
+    if population < 1:
+        raise ValueError(f"population must be positive: {population}")
+    return max(3, int(constant * math.log(max(population, 2))))
+
+
+def sample_committee_composition(
+    size: int, good_count: int, bad_count: int, rng: np.random.Generator
+) -> Committee:
+    """Draw a committee uniformly at random from the population.
+
+    With uniform sampling without replacement the bad-member count is
+    Hypergeometric(N, bad, size).
+    """
+    total = good_count + bad_count
+    if size > total:
+        size = total
+    if size <= 0:
+        raise ValueError("cannot sample an empty committee")
+    if bad_count == 0:
+        bad_members = 0
+    else:
+        bad_members = int(rng.hypergeometric(bad_count, good_count, size))
+    return Committee(size=size, good_members=size - bad_members, bad_members=bad_members)
+
+
+def elect_committee(
+    good_count: int,
+    bad_count: int,
+    rng: np.random.Generator,
+    constant: float = 12.0,
+) -> Committee:
+    """End-of-iteration election: size C·log(N_i), uniform sampling."""
+    total = good_count + bad_count
+    return sample_committee_composition(
+        committee_size(total, constant), good_count, bad_count, rng
+    )

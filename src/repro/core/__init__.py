@@ -1,0 +1,36 @@
+"""The paper's primary contribution: Ergo, GoodJEst, and the DefID problem.
+
+* :mod:`repro.core.protocol` -- the abstract ``Defense`` interface every
+  Sybil defense (Ergo and the baselines) implements, plus the engine- and
+  adversary-facing entry points.
+* :mod:`repro.core.population` -- the server's population view: good IDs
+  individually, Sybil IDs in aggregate cohorts (necessary to simulate
+  adversaries injecting millions of IDs per second at T = 2^20).
+* :mod:`repro.core.goodjest` -- the GoodJEst estimator (Figure 5).
+* :mod:`repro.core.ergo` -- the Ergo defense (Figure 4).
+* :mod:`repro.core.heuristics` -- Heuristics 1-4 of Section 10.3 and the
+  named variants ERGO-CH1, ERGO-CH2, ERGO-SF(92), ERGO-SF(98).
+* :mod:`repro.core.defid` -- the DefID problem statement and its runtime
+  invariant checker.
+"""
+
+from repro.core.defid import DefIDViolation, check_defid
+from repro.core.ergo import Ergo, ErgoConfig
+from repro.core.goodjest import GoodJEst
+from repro.core.heuristics import ergo_ch1, ergo_ch2, ergo_sf
+from repro.core.population import AggregateBadPopulation, SystemPopulation
+from repro.core.protocol import Defense
+
+__all__ = [
+    "AggregateBadPopulation",
+    "Defense",
+    "DefIDViolation",
+    "Ergo",
+    "ErgoConfig",
+    "GoodJEst",
+    "SystemPopulation",
+    "check_defid",
+    "ergo_ch1",
+    "ergo_ch2",
+    "ergo_sf",
+]

@@ -1,0 +1,50 @@
+"""The DefID problem (Section 2.2) and its runtime invariant checker.
+
+DefID generalizes the well-studied GenID problem to churn: at any time
+``t``, all good IDs must know a set ``S(t)`` such that
+
+1. every good ID is in ``S(t)``; and
+2. at most an O(κ)-fraction of the IDs in ``S(t)`` are bad.
+
+Ergo guarantees (2) with the concrete constant ``3κ`` for ``κ ≤ 1/18``
+(Theorem 1 / Lemma 9), keeping the bad fraction strictly below ``1/6`` —
+the threshold enabling Byzantine agreement and secure multiparty
+computation.  (1) holds by construction in our server model: the server
+admits every good ID that pays its entrance cost and never removes a
+good ID that answers purge challenges.
+
+:func:`check_defid` is used by tests and by defenses in "paranoid" mode
+to fail fast the moment the invariant is violated.
+"""
+
+from __future__ import annotations
+
+from repro.core.population import SystemPopulation
+
+#: The fraction of bad IDs Ergo keeps the system under (Lemma 9).
+BAD_FRACTION_BOUND = 1.0 / 6.0
+
+
+class DefIDViolation(AssertionError):
+    """Raised when the DefID invariant is observed to fail."""
+
+
+def check_defid(
+    population: SystemPopulation,
+    kappa: float,
+    now: float,
+    bound_multiplier: float = 3.0,
+) -> None:
+    """Assert the DefID bad-fraction invariant: ``bad/N < 3κ``.
+
+    Raises:
+        DefIDViolation: with a diagnostic message when the bound fails.
+    """
+    bound = bound_multiplier * kappa
+    fraction = population.bad_fraction()
+    if fraction >= bound and population.size > 0:
+        raise DefIDViolation(
+            f"DefID violated at t={now:.3f}: bad fraction "
+            f"{fraction:.4f} >= {bound:.4f} "
+            f"(bad={population.bad_count}, total={population.size})"
+        )

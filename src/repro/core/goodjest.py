@@ -1,0 +1,148 @@
+"""GoodJEst: estimating the good join rate (Figure 5).
+
+    t  ← time at system initialization.
+    J̃  ← |S(t)| divided by time required for initialization.
+    Repeat forever: whenever |S(t') △ S(t)| ≥ (5/12)|S(t')|:
+        1.  J̃ ← |S(t')| / (t' − t)
+        2.  t ← t'
+
+The estimator needs no knowledge of which IDs are good, of epoch
+boundaries, or of α and β.  Theorem 2 guarantees (given a bad fraction
+below 1/6) that ``J̃`` is within ``[ρ/(88 α⁴ β³), 1867 α⁴ β⁵ ρ]`` of the
+true good join rate ρ of any epoch the estimate lives in.
+
+Heuristic 1 (Section 10.3) aligns updates with Ergo's purges: when the
+interval threshold trips, the update is *deferred* and applied right
+after the next purge, so the membership size used in step 1 contains at
+most a κ-fraction of bad IDs.  Set ``defer_updates=True`` and have the
+defense call :meth:`apply_deferred` after purging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.population import SystemPopulation
+
+#: Interval threshold from Figure 5; see Section 9.3 for why 5/12.
+INTERVAL_THRESHOLD = 5.0 / 12.0
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One completed GoodJEst interval (for analysis/experiments)."""
+
+    start: float
+    end: float
+    size_at_end: int
+    estimate: float
+
+
+class GoodJEst:
+    """The good-join-rate estimator, fed by a defense's population view."""
+
+    TRACKER = "goodjest"
+
+    def __init__(
+        self,
+        population: SystemPopulation,
+        threshold: float = INTERVAL_THRESHOLD,
+        defer_updates: bool = False,
+        min_interval_length: float = 1e-9,
+    ) -> None:
+        self._population = population
+        self._threshold = float(threshold)
+        self._defer = bool(defer_updates)
+        self._min_len = float(min_interval_length)
+        self._estimate: Optional[float] = None
+        self._interval_start: Optional[float] = None
+        self._pending = False
+        self._intervals: List[IntervalRecord] = []
+        population.attach_combined_tracker(self.TRACKER)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, now: float, initialization_duration: float = 1.0) -> None:
+        """Set the initial estimate from the bootstrap population.
+
+        "Initially, GoodJEst sets J̃ equal to the number of IDs at system
+        initialization divided by the total time taken for
+        initialization" (Section 8); initialization is one round of
+        1-hard challenges, so the default duration is one second.
+        """
+        if initialization_duration <= 0:
+            raise ValueError("initialization duration must be positive")
+        size = self._population.size
+        self._estimate = max(size / initialization_duration, self._min_len)
+        self._interval_start = now
+        self._population.reset_combined_tracker(self.TRACKER)
+
+    @property
+    def estimate(self) -> float:
+        """The current estimate J̃ (raises if never initialized)."""
+        if self._estimate is None:
+            raise RuntimeError("GoodJEst.initialize() was never called")
+        return self._estimate
+
+    @property
+    def interval_start(self) -> float:
+        if self._interval_start is None:
+            raise RuntimeError("GoodJEst.initialize() was never called")
+        return self._interval_start
+
+    @property
+    def intervals(self) -> List[IntervalRecord]:
+        """Completed intervals, oldest first."""
+        return list(self._intervals)
+
+    @property
+    def has_pending_update(self) -> bool:
+        return self._pending
+
+    # ------------------------------------------------------------------
+    # event feed
+    # ------------------------------------------------------------------
+    def on_event(self, now: float) -> bool:
+        """Check the interval rule after a join/departure.
+
+        Returns ``True`` if the estimate was updated (or, in deferred
+        mode, if an update became pending).
+        """
+        if self._estimate is None:
+            raise RuntimeError("GoodJEst.initialize() was never called")
+        if self._pending:
+            return False
+        diff = self._population.combined_sym_diff(self.TRACKER)
+        if diff < self._threshold * self._population.size:
+            return False
+        if self._defer:
+            self._pending = True
+            return True
+        self._update(now)
+        return True
+
+    def apply_deferred(self, now: float) -> bool:
+        """Apply a pending update (Heuristic 1: call right after a purge)."""
+        if not self._pending:
+            return False
+        self._pending = False
+        self._update(now)
+        return True
+
+    def _update(self, now: float) -> None:
+        elapsed = max(now - self._interval_start, self._min_len)
+        size = self._population.size
+        new_estimate = max(size / elapsed, self._min_len)
+        self._intervals.append(
+            IntervalRecord(
+                start=self._interval_start,
+                end=now,
+                size_at_end=size,
+                estimate=new_estimate,
+            )
+        )
+        self._estimate = new_estimate
+        self._interval_start = now
+        self._population.reset_combined_tracker(self.TRACKER)

@@ -1,0 +1,163 @@
+"""The abstract ``Defense`` interface.
+
+A defense is the server-side protocol of Section 2: it learns about
+every join and departure, issues resource-burning challenges, and
+maintains the membership set.  The simulation engine calls the
+``process_*`` methods for trace events; the adversary calls
+``quote_entrance_cost`` / ``process_bad_join_batch`` to inject Sybil
+IDs, paying whatever the defense demands.
+
+Implementations: :class:`repro.core.ergo.Ergo` (and its heuristic
+variants), :class:`repro.baselines.ccom.CCom`,
+:class:`repro.baselines.sybilcontrol.SybilControl`,
+:class:`repro.baselines.remp.Remp`, and the estimation-only harness in
+:mod:`repro.experiments.figure9`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+from repro.core.population import SystemPopulation
+from repro.identity.ids import IdentityFactory
+from repro.rb.ledger import CostAccountant
+from repro.sim.tracing import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adversary.base import Adversary
+    from repro.sim.engine import Simulation
+
+
+class Defense(abc.ABC):
+    """Base class wiring a defense into the simulation."""
+
+    #: Human-readable algorithm name (used in reports and RNG streams).
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.sim: Optional["Simulation"] = None
+        self.population = SystemPopulation()
+        self.ids = IdentityFactory()
+        self.accountant: Optional[CostAccountant] = None
+        self._adversary: Optional["Adversary"] = None
+        self._rng = None
+        #: Highest bad fraction ever observed (engine samples can miss
+        #: instantaneous spikes between joins and evictions).
+        self.peak_bad_fraction = 0.0
+        #: Structured protocol trace; disabled by default (zero cost
+        #: beyond one check per emit).  Enable with ``tracer.enabled``.
+        self.tracer = TraceRecorder(enabled=False)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, sim: "Simulation") -> None:
+        """Attach to a simulation (engine calls this once)."""
+        self.sim = sim
+        self.accountant = CostAccountant(sim.metrics)
+        self._rng = sim.rngs.stream(f"defense.{self.name}")
+        self.configure()
+
+    def configure(self) -> None:
+        """Subclass hook run at bind time (set up trackers, callbacks)."""
+
+    def register_adversary(self, adversary: "Adversary") -> None:
+        self._adversary = adversary
+
+    @property
+    def now(self) -> float:
+        return self.sim.clock.now
+
+    def bootstrap(self, idents: Iterable[str]) -> None:
+        """Initialize membership with IDs that solved a 1-hard challenge.
+
+        "The server initializes system membership with all IDs that
+        solve a 1-hard RB challenge." (Section 7.)  Each initial good ID
+        is charged 1.
+        """
+        count = 0
+        for ident in idents:
+            self.population.good_join(ident, self.now)
+            self.accountant.charge_good(ident, 1.0, category="init")
+            count += 1
+        self.after_bootstrap(count)
+
+    def after_bootstrap(self, count: int) -> None:
+        """Subclass hook run after initial membership is in place."""
+
+    # ------------------------------------------------------------------
+    # engine-facing event processing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def process_good_join(self, ident: Optional[str] = None) -> Optional[str]:
+        """Handle a good ID's join attempt.
+
+        Returns the admitted (unique) identifier, or ``None`` if the
+        joiner was not admitted.
+        """
+
+    @abc.abstractmethod
+    def process_good_departure(self, ident: Optional[str] = None) -> Optional[str]:
+        """Handle a good departure.
+
+        ``ident=None`` means the victim is selected uniformly at random
+        from the good IDs (the ABC model's rule).  Returns the ID that
+        actually departed, or ``None`` if no such ID was present.
+        """
+
+    def process_bad_departure(self, ident: str) -> None:
+        """Adversary-scheduled departure of one of its IDs (aggregate)."""
+        self.population.bad.evict_newest(1)
+
+    def on_tick(self, now: float) -> None:
+        """Periodic housekeeping (default: none)."""
+
+    # ------------------------------------------------------------------
+    # adversary-facing API
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def quote_entrance_cost(self) -> float:
+        """The RB hardness the next joiner must pay right now."""
+
+    @abc.abstractmethod
+    def process_bad_join_batch(self, budget: float) -> Tuple[int, float]:
+        """Admit as many Sybil joins as ``budget`` affords right now.
+
+        The defense charges the adversary for every join *attempt* (the
+        challenge is solved before any admission decision) and handles
+        any purges the joins trigger.  Returns ``(attempted, total_cost)``
+        so the adversary can decrement its budget; ``attempted`` may
+        exceed the number of IDs actually admitted when a classifier
+        refuses entries (ERGO-SF).
+        """
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def system_size(self) -> int:
+        return self.population.size
+
+    def good_count(self) -> int:
+        return self.population.good_count
+
+    def bad_count(self) -> int:
+        return self.population.bad_count
+
+    def bad_fraction(self) -> float:
+        return self.population.bad_fraction()
+
+    def _observe_fraction(self) -> None:
+        fraction = self.population.bad_fraction()
+        if fraction > self.peak_bad_fraction:
+            self.peak_bad_fraction = fraction
+
+    def _select_departing_good(self, ident: Optional[str]) -> Optional[str]:
+        """Resolve which good ID departs (u.a.r. when unspecified)."""
+        if ident is None:
+            return self.population.random_good(self._rng)
+        if ident in self.population.good:
+            return ident
+        # The ID already left (e.g. chosen earlier as a u.a.r. victim);
+        # a departure of an absent ID is a no-op, not an error.
+        return None

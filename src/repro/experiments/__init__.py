@@ -1,0 +1,36 @@
+"""Experiment harnesses regenerating every evaluation figure.
+
+* :mod:`repro.experiments.figure8` -- good spend rate A vs adversary
+  spend rate T for ERGO, CCOM, SybilControl, REMP, ERGO-SF over the four
+  networks (Figure 8).
+* :mod:`repro.experiments.figure9` -- GoodJEst estimate/true join-rate
+  ratio vs persistent bad fraction, with and without attack (Figure 9).
+* :mod:`repro.experiments.figure10` -- Ergo heuristics: ERGO, ERGO-CH1,
+  ERGO-CH2, ERGO-SF(92), ERGO-SF(98) (Figure 10).
+* :mod:`repro.experiments.lowerbound` -- Theorem 3's Ω(√(TJ)+J) bound
+  vs measured spend of B1-B3 algorithms (Section 11).
+* :mod:`repro.experiments.committee_exp` -- Lemma 18's committee
+  invariants under churn and attack (Section 12).
+
+Each module has a ``run(config)`` entry point returning structured rows
+plus a ``main()`` that prints tables/ASCII plots and writes CSVs under
+``results/``.  ``python -m repro.experiments.figureN`` regenerates a
+figure; pass ``--quick`` for a scaled-down sweep.
+"""
+
+from repro.experiments.config import (
+    Figure8Config,
+    Figure9Config,
+    Figure10Config,
+    LowerBoundConfig,
+)
+from repro.experiments.runner import SweepResult, run_point
+
+__all__ = [
+    "Figure8Config",
+    "Figure9Config",
+    "Figure10Config",
+    "LowerBoundConfig",
+    "SweepResult",
+    "run_point",
+]

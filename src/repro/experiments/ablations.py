@@ -1,0 +1,178 @@
+"""Ablations over Ergo's design constants.
+
+The paper fixes three load-bearing constants and discusses their origin
+in Section 9.3:
+
+* **purge fraction 1/11** -- iterations end after ``|S(τ)|/11`` events
+  ("the value 1/11 is not special"): smaller fractions purge more often
+  (higher peace-time cost, lower bad accumulation); larger fractions
+  risk the 3κ bound.
+* **GoodJEst threshold 5/12** -- interval boundaries at
+  ``|S△S'| ≥ (5/12)|S'|`` (derived from the epoch constant 1/2 and the
+  1/6 bad bound; Section 13.3 discusses raising it).
+* **window width 1/J̃** -- the entrance-cost lookback.  Scaling it by a
+  factor w trades the flood's quadratic bite against peace-time joiner
+  costs.
+
+``run_ablations`` sweeps each knob in isolation at a fixed attack rate
+and reports cost + max bad fraction, so the defaults can be judged
+against their neighbours.  Run:
+
+    python -m repro.experiments.ablations [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.adversary.strategies import GreedyJoinAdversary
+from repro.analysis.plotting import format_table
+from repro.churn.datasets import NETWORKS
+from repro.core.ergo import Ergo, ErgoConfig
+from repro.experiments.config import scaled_n0
+from repro.experiments.report import results_path
+from repro.experiments.runner import run_point
+
+
+@dataclass
+class AblationConfig:
+    network: str = "gnutella"
+    attack_rate: float = float(2**14)
+    horizon: float = 4_000.0
+    seed: int = 2021
+    n0_scale: float = 1.0
+    purge_fractions: List[float] = field(
+        default_factory=lambda: [1 / 22, 1 / 11, 1 / 6, 1 / 4]
+    )
+    goodjest_thresholds: List[float] = field(
+        default_factory=lambda: [1 / 4, 5 / 12, 1 / 2]
+    )
+    window_scales: List[float] = field(default_factory=lambda: [0.25, 1.0, 4.0])
+
+    @classmethod
+    def quick(cls) -> "AblationConfig":
+        return cls(
+            horizon=400.0,
+            n0_scale=0.1,
+            purge_fractions=[1 / 11, 1 / 4],
+            goodjest_thresholds=[5 / 12],
+            window_scales=[1.0, 4.0],
+        )
+
+
+@dataclass
+class AblationRow:
+    knob: str
+    value: float
+    good_spend_rate: float
+    max_bad_fraction: float
+    purges: float
+
+    @property
+    def defid_ok(self) -> bool:
+        return self.max_bad_fraction < 1 / 6
+
+
+class _ScaledWindowErgo(Ergo):
+    """Ergo with the entrance window scaled by a constant factor."""
+
+    def __init__(self, config: ErgoConfig, window_scale: float) -> None:
+        super().__init__(config)
+        self._window_scale = float(window_scale)
+
+    def _window_width(self) -> float:
+        return min(
+            super()._window_width() * self._window_scale,
+            self.config.max_window_width,
+        )
+
+
+def run_ablations(config: AblationConfig) -> List[AblationRow]:
+    network = NETWORKS[config.network]
+    n0 = scaled_n0(network.n0, config.n0_scale)
+    rows: List[AblationRow] = []
+
+    def measure(knob: str, value: float, factory) -> None:
+        holder = {}
+
+        def wrapped():
+            defense = factory()
+            holder["defense"] = defense
+            return defense
+
+        point = run_point(
+            wrapped,
+            network,
+            config.attack_rate,
+            horizon=config.horizon,
+            seed=config.seed,
+            n0=n0,
+            adversary_factory=lambda t: GreedyJoinAdversary(rate=t),
+        )
+        defense = holder["defense"]
+        rows.append(
+            AblationRow(
+                knob=knob,
+                value=value,
+                good_spend_rate=point.good_spend_rate,
+                max_bad_fraction=point.max_bad_fraction,
+                purges=defense.purge_count,
+            )
+        )
+
+    for fraction in config.purge_fractions:
+        measure(
+            "purge_fraction",
+            fraction,
+            lambda f=fraction: Ergo(ErgoConfig(purge_fraction=f)),
+        )
+    for threshold in config.goodjest_thresholds:
+        measure(
+            "goodjest_threshold",
+            threshold,
+            lambda t=threshold: Ergo(ErgoConfig(goodjest_threshold=t)),
+        )
+    for scale in config.window_scales:
+        measure(
+            "window_scale",
+            scale,
+            lambda s=scale: _ScaledWindowErgo(ErgoConfig(), s),
+        )
+    return rows
+
+
+def render(rows: List[AblationRow], config: AblationConfig) -> str:
+    headers = ["knob", "value", "A", "max_bad", "purges", "defid_ok"]
+    data = [
+        [
+            r.knob,
+            r.value,
+            r.good_spend_rate,
+            r.max_bad_fraction,
+            r.purges,
+            "yes" if r.defid_ok else "NO",
+        ]
+        for r in rows
+    ]
+    title = (
+        f"Ablations over Ergo's constants "
+        f"({config.network}, T={config.attack_rate:.0f})"
+    )
+    return "\n".join([title, "=" * len(title), "", format_table(headers, data)])
+
+
+def main(argv: List[str] = None) -> List[AblationRow]:
+    args = argv if argv is not None else sys.argv[1:]
+    config = AblationConfig.quick() if "--quick" in args else AblationConfig()
+    rows = run_ablations(config)
+    text = render(rows, config)
+    with open(results_path("ablations.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

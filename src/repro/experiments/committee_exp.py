@@ -1,0 +1,111 @@
+"""Lemma 18 / Theorem 4: committee invariants under churn and attack.
+
+Runs :class:`~repro.committee.decentralized.DecentralizedErgo` against
+the greedy flooder and verifies, over every iteration's elected
+committee:
+
+* a good majority always holds (required for SMR),
+* the 7/8 good fraction of Lemma 18 holds,
+* committee size stays Θ(log n₀).
+
+Run: ``python -m repro.experiments.committee_exp [--quick]``.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass
+from typing import List
+
+from repro.adversary.strategies import GreedyJoinAdversary
+from repro.analysis.plotting import format_table
+from repro.churn.datasets import NETWORKS
+from repro.committee.decentralized import DecentralizedErgo
+from repro.experiments.config import CommitteeConfig, scaled_n0
+from repro.experiments.report import results_path
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class CommitteeReport:
+    elections: int
+    min_good_fraction: float
+    all_good_majority: bool
+    all_meet_lemma18: bool
+    size_min: int
+    size_max: int
+    expected_size: float
+    good_spend_rate: float
+    max_bad_fraction: float
+
+
+def run(config: CommitteeConfig) -> CommitteeReport:
+    network = NETWORKS[config.network]
+    n0 = scaled_n0(network.n0, config.n0_scale)
+    rngs = RngRegistry(seed=config.seed)
+    scenario = network.scenario(
+        horizon=config.horizon, rng=rngs.stream("churn"), n0=n0
+    )
+    defense = DecentralizedErgo(committee_constant=config.committee_constant)
+    adversary = (
+        GreedyJoinAdversary(rate=config.attack_rate)
+        if config.attack_rate > 0
+        else None
+    )
+    sim = Simulation(
+        SimulationConfig(horizon=config.horizon, seed=config.seed),
+        defense,
+        scenario.events,
+        adversary=adversary,
+        rngs=rngs,
+        initial_members=scenario.initial,
+    )
+    result = sim.run()
+    history = defense.committee_history
+    fractions = [r.committee.good_fraction for r in history]
+    sizes = [r.committee.size for r in history]
+    population = n0 if n0 is not None else network.n0
+    return CommitteeReport(
+        elections=len(history),
+        min_good_fraction=min(fractions),
+        all_good_majority=defense.all_committees_good_majority(),
+        all_meet_lemma18=defense.all_committees_meet_lemma18(),
+        size_min=min(sizes),
+        size_max=max(sizes),
+        expected_size=config.committee_constant * math.log(population),
+        good_spend_rate=result.good_spend_rate,
+        max_bad_fraction=result.max_bad_fraction,
+    )
+
+
+def render(report: CommitteeReport) -> str:
+    headers = ["metric", "value"]
+    data = [
+        ["elections", report.elections],
+        ["min good fraction", report.min_good_fraction],
+        ["all good majority", "yes" if report.all_good_majority else "NO"],
+        ["all >= 7/8 good (Lemma 18)", "yes" if report.all_meet_lemma18 else "NO"],
+        ["committee size range", f"{report.size_min}..{report.size_max}"],
+        ["C*log(n0)", report.expected_size],
+        ["good spend rate", report.good_spend_rate],
+        ["max bad fraction", report.max_bad_fraction],
+    ]
+    title = "Theorem 4 / Lemma 18: decentralized Ergo committee invariants"
+    return "\n".join([title, "=" * len(title), "", format_table(headers, data)])
+
+
+def main(argv: List[str] = None) -> CommitteeReport:
+    args = argv if argv is not None else sys.argv[1:]
+    config = CommitteeConfig.quick() if "--quick" in args else CommitteeConfig()
+    report = run(config)
+    text = render(report)
+    with open(results_path("committee.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return report
+
+
+if __name__ == "__main__":
+    main()

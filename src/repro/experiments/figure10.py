@@ -1,0 +1,69 @@
+"""Figure 10: algorithmic cost vs adversarial cost for Ergo's heuristics.
+
+Setup identical to Figure 8 (Section 10.3); algorithms compared:
+
+* ERGO (vanilla),
+* ERGO-CH1 = Heuristics 1 + 2,
+* ERGO-CH2 = Heuristics 1 + 2 + 3,
+* ERGO-SF(92), ERGO-SF(98) = Heuristics 1 + 2 + 3 + 4 with classifier
+  accuracies 0.92 and 0.98.
+
+Expected shape: the SF variants dominate at large T (up to ~3 orders of
+magnitude below the baselines' costs); CH1/CH2 give smaller, dataset-
+dependent gains, most visible at small T on low-churn networks.
+
+Run: ``python -m repro.experiments.figure10 [--quick]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.core.ergo import Ergo, ErgoConfig
+from repro.core.heuristics import ergo_ch1, ergo_ch2, ergo_sf
+from repro.core.protocol import Defense
+from repro.experiments.config import Figure10Config
+from repro.experiments.report import save_figure
+from repro.experiments.runner import SweepResult, sweep
+
+
+def defense_factories(config: Figure10Config) -> Dict[str, Callable[[], Defense]]:
+    kappa = config.kappa
+    return {
+        "ERGO": lambda: Ergo(ErgoConfig(kappa=kappa)),
+        "ERGO-CH1": lambda: ergo_ch1(kappa=kappa),
+        "ERGO-CH2": lambda: ergo_ch2(kappa=kappa),
+        "ERGO-SF(92)": lambda: ergo_sf(0.92, combined=True, kappa=kappa),
+        "ERGO-SF(98)": lambda: ergo_sf(0.98, combined=True, kappa=kappa),
+    }
+
+
+def run(config: Figure10Config) -> List[SweepResult]:
+    t_rates = [float(2**e) for e in config.t_exponents]
+    return sweep(
+        defense_factories(config),
+        networks=config.networks,
+        t_rates=t_rates,
+        horizon=config.horizon,
+        seed=config.seed,
+        n0_scale=config.n0_scale,
+    )
+
+
+def main(argv: List[str] = None) -> List[SweepResult]:
+    args = argv if argv is not None else sys.argv[1:]
+    config = Figure10Config.quick() if "--quick" in args else Figure10Config()
+    rows = run(config)
+    text = save_figure(
+        rows,
+        config.networks,
+        name="figure10",
+        title="Figure 10: algorithmic cost vs adversarial cost (heuristics)",
+    )
+    print(text)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

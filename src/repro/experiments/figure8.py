@@ -1,0 +1,73 @@
+"""Figure 8: good spend rate A vs adversary spend rate T.
+
+Setup (Section 10.1): κ = 1/18, T ∈ {2^0 ... 2^20}, each point simulated
+for 10,000 seconds; the adversary only burns resources to add IDs; REMP
+provisioned for T_max = 10^7; SybilControl's curve is cut off once it can
+no longer keep the bad fraction below 1/6.
+
+Expected shape (the reproduction target): REMP flat at (1−κ)T_max/κ ≈
+1.7·10^8; CCom and SybilControl ≈ linear in T; Ergo ≈ √T, beating CCom
+by ~2 orders of magnitude at T = 2^20; ERGO-SF below Ergo by another
+~1-1.5 orders.
+
+Run: ``python -m repro.experiments.figure8 [--quick]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.baselines.ccom import CCom
+from repro.baselines.remp import Remp
+from repro.baselines.sybilcontrol import SybilControl
+from repro.core.ergo import Ergo, ErgoConfig
+from repro.core.heuristics import ergo_sf
+from repro.core.protocol import Defense
+from repro.experiments.config import Figure8Config
+from repro.experiments.report import save_figure
+from repro.experiments.runner import SweepResult, sweep
+
+
+def defense_factories(config: Figure8Config) -> Dict[str, Callable[[], Defense]]:
+    """The five algorithms Figure 8 compares."""
+    kappa = config.kappa
+    return {
+        "ERGO": lambda: Ergo(ErgoConfig(kappa=kappa)),
+        "CCOM": lambda: CCom(ErgoConfig(kappa=kappa)),
+        "SybilControl": lambda: SybilControl(),
+        "REMP": lambda: Remp(t_max=config.remp_t_max, kappa=kappa),
+        "ERGO-SF": lambda: ergo_sf(
+            config.sf_accuracy, combined=False, kappa=kappa
+        ),
+    }
+
+
+def run(config: Figure8Config) -> List[SweepResult]:
+    t_rates = [float(2**e) for e in config.t_exponents]
+    return sweep(
+        defense_factories(config),
+        networks=config.networks,
+        t_rates=t_rates,
+        horizon=config.horizon,
+        seed=config.seed,
+        n0_scale=config.n0_scale,
+    )
+
+
+def main(argv: List[str] = None) -> List[SweepResult]:
+    args = argv if argv is not None else sys.argv[1:]
+    config = Figure8Config.quick() if "--quick" in args else Figure8Config()
+    rows = run(config)
+    text = save_figure(
+        rows,
+        config.networks,
+        name="figure8",
+        title="Figure 8: good spend rate (A) vs adversarial spend rate (T)",
+    )
+    print(text)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

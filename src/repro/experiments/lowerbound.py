@@ -1,0 +1,97 @@
+"""Theorem 3 validation: no B1-B3 algorithm beats Ω(√(TJ)+J).
+
+For a sweep of attack rates, run the Section 11 join-and-drop adversary
+against Ergo and CCom (both are B1-B3 algorithms) and compare the
+measured good spend rate to the lower-bound expression.  Two things are
+checked:
+
+* neither algorithm's spend falls below ``c·(√(TJ)+J)`` (the Ω bound);
+* Ergo's spend stays within a polylog-ish factor of the bound (Theorem
+  1 says it is asymptotically *optimal* in this class), while CCom's
+  gap grows ~√T.
+
+Run: ``python -m repro.experiments.lowerbound [--quick]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List
+
+from repro.adversary.strategies import LowerBoundAdversary
+from repro.analysis.lower_bound import lower_bound_spend_rate
+from repro.analysis.plotting import format_table
+from repro.baselines.ccom import CCom
+from repro.churn.datasets import NETWORKS
+from repro.core.ergo import Ergo
+from repro.experiments.config import LowerBoundConfig, scaled_n0
+from repro.experiments.report import results_path
+from repro.experiments.runner import run_point
+
+
+@dataclass
+class LowerBoundRow:
+    defense: str
+    t_rate: float
+    good_rate: float
+    join_rate: float
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / bound; must stay >= the Ω constant."""
+        if self.bound <= 0:
+            return float("inf")
+        return self.good_rate / self.bound
+
+
+def run(config: LowerBoundConfig) -> List[LowerBoundRow]:
+    network = NETWORKS[config.network]
+    n0 = scaled_n0(network.n0, config.n0_scale)
+    join_rate = network.steady_state_rate()
+    rows: List[LowerBoundRow] = []
+    for exponent in config.t_exponents:
+        t_rate = float(2**exponent)
+        for label, factory in (("ERGO", Ergo), ("CCOM", CCom)):
+            point = run_point(
+                factory,
+                network,
+                t_rate,
+                horizon=config.horizon,
+                seed=config.seed,
+                n0=n0,
+                adversary_factory=lambda t: LowerBoundAdversary(rate=t),
+            )
+            rows.append(
+                LowerBoundRow(
+                    defense=label,
+                    t_rate=t_rate,
+                    good_rate=point.good_spend_rate,
+                    join_rate=join_rate,
+                    bound=lower_bound_spend_rate(t_rate, join_rate),
+                )
+            )
+    return rows
+
+
+def render(rows: List[LowerBoundRow]) -> str:
+    headers = ["defense", "T", "A (measured)", "sqrt(TJ)+J", "A/bound"]
+    data = [[r.defense, r.t_rate, r.good_rate, r.bound, r.ratio] for r in rows]
+    title = "Theorem 3: measured spend vs the Omega(sqrt(TJ)+J) lower bound"
+    return "\n".join([title, "=" * len(title), "", format_table(headers, data)])
+
+
+def main(argv: List[str] = None) -> List[LowerBoundRow]:
+    args = argv if argv is not None else sys.argv[1:]
+    config = LowerBoundConfig.quick() if "--quick" in args else LowerBoundConfig()
+    rows = run(config)
+    text = render(rows)
+    with open(results_path("lowerbound.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

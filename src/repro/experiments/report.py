@@ -1,0 +1,103 @@
+"""Rendering and persistence for experiment outputs."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.plotting import ascii_loglog_plot, format_table, series_to_csv
+from repro.experiments.runner import SweepResult
+
+#: Default output directory (created on demand).
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
+
+
+def results_path(filename: str, results_dir: Optional[str] = None) -> str:
+    directory = results_dir if results_dir is not None else RESULTS_DIR
+    directory = os.path.abspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, filename)
+
+
+def rows_to_table(rows: List[SweepResult]) -> str:
+    """The standard A-vs-T results table."""
+    headers = ["network", "defense", "T", "A", "A/T", "max_bad", "defid_ok"]
+    data = []
+    for row in rows:
+        ratio = row.good_spend_rate / row.t_rate if row.t_rate > 0 else float("nan")
+        data.append(
+            [
+                row.network,
+                row.defense,
+                row.t_rate,
+                row.good_spend_rate,
+                ratio,
+                row.max_bad_fraction,
+                "yes" if row.maintains_defid else "NO",
+            ]
+        )
+    return format_table(headers, data)
+
+
+def rows_to_series(
+    rows: List[SweepResult], network: str, cutoff_invalid: bool = True
+) -> Dict[str, List[tuple]]:
+    """Per-defense (T, A) series for one network.
+
+    ``cutoff_invalid`` drops points where the defense failed to keep the
+    bad fraction under 1/6 -- this is how Figure 8 truncates the
+    SybilControl curve ("we cut off the plot of SybilControl when the
+    algorithm can no longer ensure that the fraction of bad IDs is less
+    than 1/6").
+    """
+    series: Dict[str, List[tuple]] = {}
+    for row in rows:
+        if row.network != network:
+            continue
+        if cutoff_invalid and not row.maintains_defid:
+            continue
+        series.setdefault(row.defense, []).append((row.t_rate, row.good_spend_rate))
+    for pts in series.values():
+        pts.sort()
+    return series
+
+
+def render_figure(
+    rows: List[SweepResult],
+    networks: List[str],
+    title: str,
+) -> str:
+    """Tables + per-network ASCII log-log plots."""
+    chunks = [title, "=" * len(title), "", rows_to_table(rows), ""]
+    for network in networks:
+        series = rows_to_series(rows, network)
+        if not series:
+            continue
+        chunks.append(
+            ascii_loglog_plot(
+                series,
+                title=f"{title} -- {network}",
+                xlabel="adversary spend rate T",
+                ylabel="good spend rate A",
+            )
+        )
+    return "\n".join(chunks)
+
+
+def save_figure(
+    rows: List[SweepResult],
+    networks: List[str],
+    name: str,
+    title: str,
+    results_dir: Optional[str] = None,
+) -> str:
+    """Write the rendered text and the CSV; return the rendered text."""
+    text = render_figure(rows, networks, title)
+    with open(results_path(f"{name}.txt", results_dir), "w") as handle:
+        handle.write(text + "\n")
+    all_series: Dict[str, List[tuple]] = {}
+    for network in networks:
+        for defense, pts in rows_to_series(rows, network, cutoff_invalid=False).items():
+            all_series[f"{network}/{defense}"] = pts
+    series_to_csv(all_series, x_name="T", path=results_path(f"{name}.csv", results_dir))
+    return text

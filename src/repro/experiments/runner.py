@@ -1,0 +1,112 @@
+"""Shared sweep machinery for the figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.adversary.base import Adversary
+from repro.adversary.strategies import GreedyJoinAdversary, MaintenanceAdversary
+from repro.churn.datasets import NETWORKS, NetworkModel
+from repro.core.protocol import Defense
+from repro.experiments.config import scaled_n0
+from repro.sim.engine import Simulation, SimulationConfig, SimulationResult
+from repro.sim.rng import RngRegistry
+
+#: Defenses with recurring per-ID costs get the maintenance adversary
+#: (flood-then-thrash is strictly worse for the attacker there); purge
+#: defenses get the greedy flooder, the paper's attack model.
+
+
+def adversary_for(defense: Defense, t_rate: float) -> Optional[Adversary]:
+    """The strongest implemented attack for a defense at spend rate T."""
+    if t_rate <= 0:
+        return None
+    if hasattr(defense, "recurring_cost_rate_per_id"):
+        return MaintenanceAdversary(rate=t_rate)
+    return GreedyJoinAdversary(rate=t_rate)
+
+
+@dataclass
+class SweepResult:
+    """One (network, defense, T) measurement."""
+
+    network: str
+    defense: str
+    t_rate: float
+    good_spend_rate: float
+    adversary_spend_rate: float
+    max_bad_fraction: float
+    final_size: int
+
+    @property
+    def maintains_defid(self) -> bool:
+        """Did the run keep the bad fraction below 1/6?"""
+        return self.max_bad_fraction < 1.0 / 6.0
+
+
+def run_point(
+    defense_factory: Callable[[], Defense],
+    network: NetworkModel,
+    t_rate: float,
+    horizon: float,
+    seed: int,
+    n0: Optional[int] = None,
+    adversary_factory: Optional[Callable[[float], Adversary]] = None,
+) -> SweepResult:
+    """Simulate one defense on one network at one attack rate."""
+    rngs = RngRegistry(seed=seed)
+    scenario = network.scenario(
+        horizon=horizon, rng=rngs.stream(f"churn.{network.name}"), n0=n0
+    )
+    defense = defense_factory()
+    if adversary_factory is not None and t_rate > 0:
+        adversary = adversary_factory(t_rate)
+    else:
+        adversary = adversary_for(defense, t_rate)
+    sim = Simulation(
+        SimulationConfig(horizon=horizon, seed=seed),
+        defense,
+        scenario.events,
+        adversary=adversary,
+        rngs=rngs,
+        initial_members=scenario.initial,
+    )
+    result: SimulationResult = sim.run()
+    return SweepResult(
+        network=network.name,
+        defense=defense.name,
+        t_rate=t_rate,
+        good_spend_rate=result.good_spend_rate,
+        adversary_spend_rate=result.adversary_spend_rate,
+        max_bad_fraction=result.max_bad_fraction,
+        final_size=result.final_system_size,
+    )
+
+
+def sweep(
+    defense_factories: Dict[str, Callable[[], Defense]],
+    networks: List[str],
+    t_rates: List[float],
+    horizon: float,
+    seed: int,
+    n0_scale: float = 1.0,
+) -> List[SweepResult]:
+    """Cartesian sweep over networks × defenses × attack rates."""
+    rows: List[SweepResult] = []
+    for network_name in networks:
+        network = NETWORKS[network_name]
+        n0 = scaled_n0(network.n0, n0_scale)
+        for label, factory in defense_factories.items():
+            for t_rate in t_rates:
+                row = run_point(
+                    factory,
+                    network,
+                    t_rate,
+                    horizon=horizon,
+                    seed=seed,
+                    n0=n0,
+                )
+                row.defense = label
+                rows.append(row)
+    return rows

@@ -1,0 +1,120 @@
+"""Seed sensitivity: are the figures' error bars really negligible?
+
+The paper reports "we omit error bars since they are negligible"
+(Section 10.1).  This experiment re-runs representative Figure-8 points
+across independent seeds and reports the spread (max/min ratio and the
+relative standard deviation of A), validating that claim for the
+reproduction.  Run:
+
+    python -m repro.experiments.sensitivity [--quick]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.analysis.plotting import format_table
+from repro.analysis.stats import max_ratio_spread
+from repro.baselines.ccom import CCom
+from repro.churn.datasets import NETWORKS
+from repro.core.ergo import Ergo
+from repro.experiments.config import scaled_n0
+from repro.experiments.report import results_path
+from repro.experiments.runner import run_point
+
+
+@dataclass
+class SensitivityConfig:
+    network: str = "gnutella"
+    t_rates: List[float] = field(default_factory=lambda: [2.0**8, 2.0**16])
+    seeds: List[int] = field(default_factory=lambda: [11, 22, 33, 44, 55])
+    horizon: float = 4_000.0
+    n0_scale: float = 1.0
+
+    @classmethod
+    def quick(cls) -> "SensitivityConfig":
+        return cls(seeds=[11, 22, 33], horizon=400.0, n0_scale=0.1)
+
+
+@dataclass
+class SensitivityRow:
+    defense: str
+    t_rate: float
+    runs: int
+    mean_a: float
+    rel_std: float
+    spread: float  # max/min
+
+    @property
+    def negligible(self) -> bool:
+        """The paper's claim, quantified: under 10% relative std."""
+        return self.rel_std < 0.10
+
+
+def run(config: SensitivityConfig) -> List[SensitivityRow]:
+    network = NETWORKS[config.network]
+    n0 = scaled_n0(network.n0, config.n0_scale)
+    factories: Dict[str, Callable] = {"ERGO": Ergo, "CCOM": CCom}
+    rows: List[SensitivityRow] = []
+    for label, factory in factories.items():
+        for t_rate in config.t_rates:
+            rates = []
+            for seed in config.seeds:
+                point = run_point(
+                    factory,
+                    network,
+                    t_rate,
+                    horizon=config.horizon,
+                    seed=seed,
+                    n0=n0,
+                )
+                rates.append(point.good_spend_rate)
+            mean = sum(rates) / len(rates)
+            variance = sum((r - mean) ** 2 for r in rates) / len(rates)
+            rows.append(
+                SensitivityRow(
+                    defense=label,
+                    t_rate=t_rate,
+                    runs=len(rates),
+                    mean_a=mean,
+                    rel_std=math.sqrt(variance) / mean if mean > 0 else 0.0,
+                    spread=max_ratio_spread(rates),
+                )
+            )
+    return rows
+
+
+def render(rows: List[SensitivityRow]) -> str:
+    headers = ["defense", "T", "runs", "mean A", "rel std", "max/min", "negligible"]
+    data = [
+        [
+            r.defense,
+            r.t_rate,
+            r.runs,
+            r.mean_a,
+            r.rel_std,
+            r.spread,
+            "yes" if r.negligible else "NO",
+        ]
+        for r in rows
+    ]
+    title = "Seed sensitivity of the spend-rate measurements"
+    return "\n".join([title, "=" * len(title), "", format_table(headers, data)])
+
+
+def main(argv: List[str] = None) -> List[SensitivityRow]:
+    args = argv if argv is not None else sys.argv[1:]
+    config = SensitivityConfig.quick() if "--quick" in args else SensitivityConfig()
+    rows = run(config)
+    text = render(rows)
+    with open(results_path("sensitivity.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Heartbeat-based departure detection.
+
+"In practice, each good ID can issue 'heartbeat messages' to the server
+that indicate they are still alive. ... a bad ID that fails to issue
+heartbeat messages will be treated by the server as having departed."
+(Section 2.1.1.)
+
+The simulation engine normally learns about departures from the trace
+directly, but :class:`HeartbeatMonitor` implements the practical
+mechanism so the decentralized committee (Section 12) and the examples
+can exercise the detection path, including bad IDs going silent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class HeartbeatMonitor:
+    """Tracks last-heard-from times and flags silent IDs as departed."""
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError(f"heartbeat timeout must be positive: {timeout}")
+        self.timeout = float(timeout)
+        self._last_seen: Dict[str, float] = {}
+
+    def register(self, ident: str, now: float) -> None:
+        """Start tracking ``ident`` (e.g. when it joins)."""
+        self._last_seen[ident] = float(now)
+
+    def beat(self, ident: str, now: float) -> None:
+        """Record a heartbeat from ``ident``.
+
+        Raises:
+            KeyError: for unknown IDs -- a heartbeat from an ID the server
+                never admitted indicates a protocol bug.
+        """
+        if ident not in self._last_seen:
+            raise KeyError(f"heartbeat from unregistered ID {ident!r}")
+        self._last_seen[ident] = float(now)
+
+    def forget(self, ident: str) -> None:
+        """Stop tracking ``ident`` (announced departure or purge)."""
+        self._last_seen.pop(ident, None)
+
+    def expired(self, now: float) -> List[str]:
+        """IDs whose last heartbeat is older than the timeout.
+
+        The caller is expected to treat these as departed and then call
+        :meth:`forget` on each (this method does not mutate state so the
+        caller can decide what a detection means).
+        """
+        cutoff = now - self.timeout
+        return [ident for ident, seen in self._last_seen.items() if seen < cutoff]
+
+    @property
+    def tracked(self) -> int:
+        return len(self._last_seen)

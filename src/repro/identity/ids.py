@@ -1,0 +1,38 @@
+"""Unique ID naming.
+
+"Every joining ID is treated as a new ID.  We ensure every joining ID is
+given a unique name by concatenating a join-event counter to the name
+chosen by the ID." (Section 2.1.1.)
+"""
+
+from __future__ import annotations
+
+
+class IdentityFactory:
+    """Issues globally unique identifier strings.
+
+    The factory appends a monotonically increasing join-event counter to
+    whatever name the joiner proposes, so re-joining IDs are always new
+    IDs from the system's perspective.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    @property
+    def issued(self) -> int:
+        """How many identifiers have been issued so far."""
+        return self._counter
+
+    def issue(self, proposed_name: str = "id") -> str:
+        """Return a unique identifier derived from ``proposed_name``."""
+        self._counter += 1
+        return f"{proposed_name}#{self._counter}"
+
+    def issue_good(self) -> str:
+        """Convenience wrapper for good-ID names (used by the engine)."""
+        return self.issue("g")
+
+    def issue_bad(self) -> str:
+        """Convenience wrapper for Sybil-ID names (used by adversaries)."""
+        return self.issue("b")

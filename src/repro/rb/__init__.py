@@ -1,0 +1,36 @@
+"""Resource-burning (RB) substrate.
+
+"IDs can construct resource-burning challenges of varying hardness,
+whose solutions cannot be stolen or pre-computed ... a k-hard RB
+challenge imposes a resource cost of k on the challenge solver."
+(Section 2.)
+
+Two interchangeable realizations are provided:
+
+* :mod:`repro.rb.challenges` -- the *accounting* model used by the
+  simulations: solving a k-hard challenge costs exactly ``k`` units, as
+  in the paper's experiments ("we assume a cost of k for solving a k-hard
+  RB challenge", Section 10.1).
+* :mod:`repro.rb.pow` -- a real hashcash-style proof-of-work scheme, so
+  the challenge/solve/verify path is executable end to end (used by unit
+  tests and the quickstart example, not by the large sweeps).
+
+:mod:`repro.rb.ledger` provides the cost accountant that defenses use to
+charge good IDs and the adversary.
+"""
+
+from repro.rb.challenges import Challenge, ChallengeAuthority, Solution
+from repro.rb.ledger import CostAccountant
+from repro.rb.pow import PowChallenge, PowSolution, hardness_to_bits, solve_pow, verify_pow
+
+__all__ = [
+    "Challenge",
+    "ChallengeAuthority",
+    "CostAccountant",
+    "PowChallenge",
+    "PowSolution",
+    "Solution",
+    "hardness_to_bits",
+    "solve_pow",
+    "verify_pow",
+]

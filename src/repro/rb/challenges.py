@@ -1,0 +1,101 @@
+"""k-hard resource-burning challenges (accounting model).
+
+The analysis and the experiments only need the *cost semantics* of
+resource burning: a k-hard challenge costs ``k`` to solve and a 1-hard
+challenge takes one round.  :class:`ChallengeAuthority` issues challenges
+with those semantics and verifies solutions.  Solutions carry the
+identity of the solver and the challenge id so replays and transfers are
+rejected ("solutions cannot be stolen or pre-computed").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.clock import ROUND_SECONDS
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """A k-hard challenge issued to a specific ID at a specific time."""
+
+    challenge_id: int
+    solver: str
+    hardness: int
+    issued_at: float
+
+    @property
+    def solve_time(self) -> float:
+        """Seconds needed to solve: hardness rounds (Section 2)."""
+        return self.hardness * ROUND_SECONDS
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A claimed solution to a challenge."""
+
+    challenge_id: int
+    solver: str
+    solved_at: float
+
+
+class ChallengeAuthority:
+    """Issues challenges and verifies solutions.
+
+    The authority remembers outstanding challenges so that:
+
+    * a solution to an unknown or already-redeemed challenge is rejected
+      (no pre-computation, no replay);
+    * a solution from a different ID than the challenge was issued to is
+      rejected (no stealing);
+    * a solution arriving before the hardness-implied solve time is
+      rejected (no free work).
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._outstanding: dict[int, Challenge] = {}
+
+    def issue(self, solver: str, hardness: int, now: float) -> Challenge:
+        if hardness < 1:
+            raise ValueError(f"hardness must be >= 1, got {hardness}")
+        challenge = Challenge(
+            challenge_id=next(self._ids),
+            solver=solver,
+            hardness=int(hardness),
+            issued_at=float(now),
+        )
+        self._outstanding[challenge.challenge_id] = challenge
+        return challenge
+
+    def solve(self, challenge: Challenge) -> Solution:
+        """Produce the (simulated) solution for a challenge.
+
+        The solution timestamp is the issue time plus the solve time; the
+        caller is responsible for charging the solver ``hardness`` units.
+        """
+        return Solution(
+            challenge_id=challenge.challenge_id,
+            solver=challenge.solver,
+            solved_at=challenge.issued_at + challenge.solve_time,
+        )
+
+    def verify(self, solution: Solution, deadline: Optional[float] = None) -> bool:
+        """Check a solution and, if valid, redeem (consume) the challenge."""
+        challenge = self._outstanding.get(solution.challenge_id)
+        if challenge is None:
+            return False
+        if challenge.solver != solution.solver:
+            return False
+        if solution.solved_at < challenge.issued_at + challenge.solve_time:
+            return False
+        if deadline is not None and solution.solved_at > deadline:
+            return False
+        del self._outstanding[solution.challenge_id]
+        return True
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)

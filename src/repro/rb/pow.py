@@ -1,0 +1,79 @@
+"""Hashcash-style proof-of-work: a concrete RB challenge scheme.
+
+The simulations use the accounting model in
+:mod:`repro.rb.challenges`; this module demonstrates that a k-hard
+challenge is realizable with a standard scheme: find a nonce such that
+``SHA-256(seed || solver || nonce)`` has at least ``bits`` leading zero
+bits.  Expected work doubles per bit, so hardness maps to
+``bits = BASE_BITS + ceil(log2(k))`` -- solving a k-hard challenge costs
+(in expectation) k times the work of a 1-hard one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+#: Leading zero bits for a 1-hard challenge.  Kept small so unit tests
+#: solve challenges in microseconds; a deployment would raise this.
+BASE_BITS = 8
+
+
+def hardness_to_bits(hardness: int, base_bits: int = BASE_BITS) -> int:
+    """Difficulty bits for a k-hard challenge (expected work ∝ 2^bits)."""
+    if hardness < 1:
+        raise ValueError(f"hardness must be >= 1, got {hardness}")
+    return base_bits + math.ceil(math.log2(hardness)) if hardness > 1 else base_bits
+
+
+@dataclass(frozen=True)
+class PowChallenge:
+    """A proof-of-work puzzle bound to a solver identity."""
+
+    seed: bytes
+    solver: str
+    bits: int
+
+
+@dataclass(frozen=True)
+class PowSolution:
+    """A nonce claimed to solve a :class:`PowChallenge`."""
+
+    nonce: int
+
+
+def _digest(challenge: PowChallenge, nonce: int) -> bytes:
+    payload = challenge.seed + challenge.solver.encode("utf-8") + nonce.to_bytes(8, "big")
+    return hashlib.sha256(payload).digest()
+
+
+def _leading_zero_bits(digest: bytes) -> int:
+    count = 0
+    for byte in digest:
+        if byte == 0:
+            count += 8
+            continue
+        count += 8 - byte.bit_length()
+        break
+    return count
+
+
+def solve_pow(challenge: PowChallenge, max_iterations: int = 10_000_000) -> PowSolution:
+    """Brute-force a nonce for ``challenge``.
+
+    Raises:
+        RuntimeError: if no solution is found within ``max_iterations``
+            (indicates the difficulty is set far too high for a test).
+    """
+    for nonce in range(max_iterations):
+        if _leading_zero_bits(_digest(challenge, nonce)) >= challenge.bits:
+            return PowSolution(nonce=nonce)
+    raise RuntimeError(
+        f"no PoW solution within {max_iterations} iterations at {challenge.bits} bits"
+    )
+
+
+def verify_pow(challenge: PowChallenge, solution: PowSolution) -> bool:
+    """Constant-cost verification of a claimed solution."""
+    return _leading_zero_bits(_digest(challenge, solution.nonce)) >= challenge.bits

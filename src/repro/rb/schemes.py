@@ -1,0 +1,150 @@
+"""Alternative resource-burning schemes (Section 6).
+
+"Our results are agnostic to the type of challenges employed" (Section
+2): Ergo needs only that a k-hard challenge verifiably consumes k units
+of *some* network resource.  This module models the families the paper
+surveys, each exposing the same small interface -- the cost in the
+burned resource, the wall-clock time to solve, and a verification --
+so any of them can stand behind :class:`~repro.rb.challenges.ChallengeAuthority`.
+
+* :class:`ComputationScheme` -- CPU cycles (proof-of-work [9, 17]); the
+  concrete hash realization lives in :mod:`repro.rb.pow`.
+* :class:`ProofOfSpaceTime` -- storage capacity held over time [68]:
+  a k-hard challenge pins ``k / duration`` units of storage for
+  ``duration`` seconds.
+* :class:`CaptchaScheme` -- human effort [71]: each unit is one solved
+  CAPTCHA; solve times are stochastic (log-normal, as human response
+  times are), so hardness-k challenges take variable wall-clock time.
+* :class:`RadioResourceScheme` -- listening capacity in multi-channel
+  wireless networks [75, 76]: a k-hard challenge requires tuning to k
+  channels during the round; an adversary with ``radios`` receivers can
+  burn at most ``radios * channels`` units per round, giving the
+  κ-fraction bound a physical origin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BurnReceipt:
+    """Proof that a solver burned ``cost`` units of ``resource``."""
+
+    resource: str
+    solver: str
+    cost: float
+    elapsed: float
+
+
+class ComputationScheme:
+    """CPU-cycle burning: cost k, time k/speed."""
+
+    resource = "computation"
+
+    def __init__(self, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive: {speed}")
+        self.speed = float(speed)
+
+    def burn(self, solver: str, hardness: int, rng: np.random.Generator) -> BurnReceipt:
+        if hardness < 1:
+            raise ValueError(f"hardness must be >= 1: {hardness}")
+        return BurnReceipt(
+            resource=self.resource,
+            solver=solver,
+            cost=float(hardness),
+            elapsed=hardness / self.speed,
+        )
+
+
+class ProofOfSpaceTime:
+    """Storage held over time: cost = storage × duration [68]."""
+
+    resource = "space-time"
+
+    def __init__(self, round_duration: float = 1.0) -> None:
+        if round_duration <= 0:
+            raise ValueError(f"round duration must be positive: {round_duration}")
+        self.round_duration = float(round_duration)
+
+    def storage_required(self, hardness: int) -> float:
+        """Storage units pinned for one round to burn ``hardness``."""
+        if hardness < 1:
+            raise ValueError(f"hardness must be >= 1: {hardness}")
+        return hardness / self.round_duration
+
+    def burn(self, solver: str, hardness: int, rng: np.random.Generator) -> BurnReceipt:
+        storage = self.storage_required(hardness)
+        return BurnReceipt(
+            resource=self.resource,
+            solver=solver,
+            cost=storage * self.round_duration,
+            elapsed=self.round_duration,
+        )
+
+
+class CaptchaScheme:
+    """Human effort: k CAPTCHAs with log-normal per-puzzle solve times."""
+
+    resource = "human-effort"
+
+    def __init__(self, median_solve_time: float = 10.0, sigma: float = 0.5) -> None:
+        if median_solve_time <= 0 or sigma <= 0:
+            raise ValueError("median time and sigma must be positive")
+        self.mu = math.log(median_solve_time)
+        self.sigma = float(sigma)
+
+    def burn(self, solver: str, hardness: int, rng: np.random.Generator) -> BurnReceipt:
+        if hardness < 1:
+            raise ValueError(f"hardness must be >= 1: {hardness}")
+        elapsed = float(np.sum(rng.lognormal(self.mu, self.sigma, size=hardness)))
+        return BurnReceipt(
+            resource=self.resource,
+            solver=solver,
+            cost=float(hardness),
+            elapsed=elapsed,
+        )
+
+
+class RadioResourceScheme:
+    """Listening capacity: tune to k of ``channels`` channels per round."""
+
+    resource = "radio-listening"
+
+    def __init__(self, channels: int, round_duration: float = 1.0) -> None:
+        if channels < 1:
+            raise ValueError(f"need at least one channel: {channels}")
+        if round_duration <= 0:
+            raise ValueError(f"round duration must be positive: {round_duration}")
+        self.channels = int(channels)
+        self.round_duration = float(round_duration)
+
+    def burn(self, solver: str, hardness: int, rng: np.random.Generator) -> BurnReceipt:
+        if hardness < 1:
+            raise ValueError(f"hardness must be >= 1: {hardness}")
+        if hardness > self.channels:
+            raise ValueError(
+                f"cannot burn {hardness} listening units with "
+                f"{self.channels} channels in one round"
+            )
+        return BurnReceipt(
+            resource=self.resource,
+            solver=solver,
+            cost=float(hardness),
+            elapsed=self.round_duration,
+        )
+
+    def adversary_capacity_per_round(self, radios: int) -> int:
+        """Max units an adversary with ``radios`` receivers can burn.
+
+        This is the physical origin of the κ-fraction assumption in
+        radio-resource-testing deployments: κ = radios / (radios +
+        honest receivers).
+        """
+        if radios < 0:
+            raise ValueError(f"negative radios: {radios}")
+        return radios * self.channels

@@ -1,0 +1,52 @@
+"""Simulation clock.
+
+The paper measures time in *seconds* and defines a *round* as the time it
+takes to solve a 1-hard resource-burning challenge plus the communication
+for issuing the challenge and returning the solution (Section 2).  The
+reproduction fixes ``ROUND_SECONDS = 1.0`` so that costs expressed "per
+round" and "per second" coincide, matching the paper's experimental setup
+where a k-hard challenge costs ``k``.
+"""
+
+from __future__ import annotations
+
+#: Duration of one round, in seconds (see module docstring).
+ROUND_SECONDS = 1.0
+
+
+class Clock:
+    """A monotonically advancing simulation clock.
+
+    The clock refuses to move backwards: discrete-event simulations that
+    accidentally process events out of order produce silently wrong
+    results, so we fail loudly instead.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            ValueError: if ``when`` is earlier than the current time.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds (``delta >= 0``)."""
+        if delta < 0:
+            raise ValueError(f"negative clock delta: {delta}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.3f})"

@@ -1,0 +1,274 @@
+"""The event queue and the simulation driver.
+
+The driver wires together four roles:
+
+* a **churn source** (an iterator of good-ID :class:`~repro.sim.events`
+  events, typically produced by :mod:`repro.churn.generators`),
+* a **defense** (Ergo, CCom, SybilControl, REMP, ... -- anything
+  implementing :class:`repro.core.protocol.Defense`),
+* an **adversary** (a :class:`repro.adversary.base.Adversary` deciding
+  when to pay entrance costs and inject Sybil IDs), and
+* a shared :class:`~repro.sim.metrics.MetricSet`.
+
+The loop is a classic discrete-event simulation: events are popped in
+``(time, priority, seq)`` order, the clock advances, the adversary gets a
+chance to act at the new time, and then the event is dispatched.  Regular
+``Tick`` events guarantee the adversary can act even during quiet periods
+of the trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Tuple
+
+from repro.sim.clock import Clock
+from repro.sim.events import (
+    BadDeparture,
+    Callback,
+    Event,
+    GoodDeparture,
+    GoodJoin,
+    Tick,
+)
+from repro.sim.metrics import MetricSet
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.adversary.base import Adversary
+    from repro.core.protocol import Defense
+
+
+class EventQueue:
+    """A priority queue of events ordered by ``(time, priority, seq)``.
+
+    ``priority`` breaks ties at equal times (lower runs first); ``seq`` is
+    a monotone counter providing the deterministic total order that the
+    ABC model's "server orders simultaneous events" assumption requires.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+
+    def push(self, event: Event, priority: int = 0) -> None:
+        heapq.heappush(self._heap, (event.time, priority, next(self._seq), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> Optional[float]:
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class SimulationConfig:
+    """Run-level knobs shared by all experiments."""
+
+    horizon: float = 10_000.0
+    tick_interval: float = 1.0
+    seed: int = 0
+    #: record bad-fraction / system-size samples every this many seconds
+    sample_interval: float = 50.0
+
+
+@dataclass
+class SimulationResult:
+    """What a finished run reports back to the experiment harness."""
+
+    horizon: float
+    good_spend: float
+    adversary_spend: float
+    good_spend_rate: float
+    adversary_spend_rate: float
+    max_bad_fraction: float
+    final_system_size: int
+    counters: dict
+    metrics: MetricSet = field(repr=False, default=None)
+
+    @property
+    def advantage(self) -> float:
+        """Adversary spend divided by good spend (higher favors the defense)."""
+        if self.good_spend == 0:
+            return float("inf")
+        return self.adversary_spend / self.good_spend
+
+
+class Simulation:
+    """Drives one defense against one churn trace and one adversary."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        defense: "Defense",
+        churn: Iterable[Event],
+        adversary: Optional["Adversary"] = None,
+        rngs: Optional[RngRegistry] = None,
+        initial_members: Optional[Iterable] = None,
+    ) -> None:
+        self.config = config
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.metrics = MetricSet()
+        self.rngs = rngs if rngs is not None else RngRegistry(config.seed)
+        self.defense = defense
+        self.adversary = adversary
+        self._churn: Iterator[Event] = iter(churn)
+        self._initial_members = list(initial_members) if initial_members else []
+        self._next_sample = 0.0
+        defense.bind(self)
+        if adversary is not None:
+            adversary.bind(self, defense)
+
+    # ------------------------------------------------------------------
+    # scheduling helpers (used by defenses and adversaries)
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, fn, label: str = "") -> None:
+        """Schedule ``fn(now)`` to run at simulation time ``when``."""
+        self.queue.push(Callback(time=when, fn=fn, label=label))
+
+    def call_after(self, delay: float, fn, label: str = "") -> None:
+        self.call_at(self.clock.now + delay, fn, label=label)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation until the horizon and summarize."""
+        horizon = self.config.horizon
+        self._bootstrap()
+        self._prime_ticks()
+        self._pump_churn(limit_time=horizon)
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > horizon:
+                break
+            event = self.queue.pop()
+            self.clock.advance_to(event.time)
+            if self.adversary is not None:
+                self.adversary.act(self.clock.now)
+            self._dispatch(event)
+            self._maybe_sample()
+            self._pump_churn(limit_time=horizon)
+        self.clock.advance_to(horizon)
+        if self.adversary is not None:
+            self.adversary.act(horizon)
+        self._sample_now()
+        return self._summarize()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """Initialize membership and schedule initial residual departures.
+
+        Initial members model a system already in steady state: each
+        carries a *residual* session time (sampled from the equilibrium
+        distribution by the churn datasets) after which it departs.
+        """
+        if not self._initial_members:
+            self.defense.bootstrap([])
+            return
+        idents = []
+        for member in self._initial_members:
+            idents.append(member.ident)
+        self.defense.bootstrap(idents)
+        for member in self._initial_members:
+            if member.residual is None:
+                continue
+            depart_at = member.residual
+            if 0 <= depart_at <= self.config.horizon:
+                self.queue.push(GoodDeparture(time=depart_at, ident=member.ident))
+
+    def _prime_ticks(self) -> None:
+        interval = self.config.tick_interval
+        if interval <= 0:
+            return
+        when = interval
+        while when <= self.config.horizon:
+            self.queue.push(Tick(time=when), priority=10)
+            when += interval
+
+    def _pump_churn(self, limit_time: float) -> None:
+        """Move churn events into the queue up to the next queued time.
+
+        The churn iterator may be unbounded (session-based generators),
+        so we only pull events that could possibly run next.
+        """
+        while True:
+            frontier = self.queue.peek_time()
+            if frontier is not None and frontier <= limit_time:
+                pull_until = frontier
+            else:
+                pull_until = limit_time
+            event = next(self._churn, None)
+            if event is None:
+                return
+            self.queue.push(event)
+            if event.time > pull_until:
+                return
+
+    def _dispatch(self, event: Event) -> None:
+        now = self.clock.now
+        if isinstance(event, GoodJoin):
+            self.metrics.counters.add("good_join_events")
+            admitted_ident = self.defense.process_good_join(event.ident)
+            if admitted_ident is not None and event.session is not None:
+                depart_at = now + event.session
+                if depart_at <= self.config.horizon:
+                    self.queue.push(
+                        GoodDeparture(time=depart_at, ident=admitted_ident)
+                    )
+        elif isinstance(event, GoodDeparture):
+            self.metrics.counters.add("good_departure_events")
+            self.defense.process_good_departure(event.ident)
+        elif isinstance(event, BadDeparture):
+            self.defense.process_bad_departure(event.ident)
+        elif isinstance(event, Tick):
+            self.defense.on_tick(now)
+        elif isinstance(event, Callback):
+            event.fn(now)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unhandled event type: {type(event).__name__}")
+
+    def _maybe_sample(self) -> None:
+        if self.clock.now >= self._next_sample:
+            self._sample_now()
+            self._next_sample = self.clock.now + self.config.sample_interval
+
+    def _sample_now(self) -> None:
+        now = self.clock.now
+        size = self.defense.system_size()
+        fraction = self.defense.bad_fraction()
+        if self.metrics.system_size.times and self.metrics.system_size.times[-1] == now:
+            return
+        self.metrics.system_size.record(now, size)
+        self.metrics.bad_fraction.record(now, fraction)
+
+    def _summarize(self) -> SimulationResult:
+        horizon = self.config.horizon
+        max_bad = self.metrics.bad_fraction.max() if len(self.metrics.bad_fraction) else 0.0
+        max_bad = max(max_bad, getattr(self.defense, "peak_bad_fraction", 0.0))
+        return SimulationResult(
+            horizon=horizon,
+            good_spend=self.metrics.good.total,
+            adversary_spend=self.metrics.adversary.total,
+            good_spend_rate=self.metrics.good.rate(horizon),
+            adversary_spend_rate=self.metrics.adversary.rate(horizon),
+            max_bad_fraction=max_bad,
+            final_system_size=self.defense.system_size(),
+            counters=self.metrics.counters.as_dict(),
+            metrics=self.metrics,
+        )

@@ -1,0 +1,121 @@
+"""Event vocabulary for the churn simulation.
+
+Churn traces, adversary strategies, and periodic protocol work all speak
+in terms of these events.  Each event is a small frozen dataclass carrying
+its scheduled time; the engine orders them by ``(time, priority, seq)``.
+
+The ABC model (Section 2.1.1 of the paper) assumes every join/departure
+occurs at a unique point in time, with ties broken by the server.  The
+engine's ``seq`` counter provides exactly that deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """Discriminator for the event classes (useful for metrics/logging)."""
+
+    GOOD_JOIN = "good_join"
+    GOOD_DEPARTURE = "good_departure"
+    BAD_JOIN = "bad_join"
+    BAD_DEPARTURE = "bad_departure"
+    TICK = "tick"
+    CALLBACK = "callback"
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all simulation events."""
+
+    time: float
+
+    @property
+    def kind(self) -> EventKind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GoodJoin(Event):
+    """A good ID wants to join.
+
+    ``ident`` is an opaque label chosen by the trace generator; the
+    identity layer concatenates a join-event counter to guarantee global
+    uniqueness (Section 2.1.1).  ``session`` optionally carries the
+    session duration sampled by the trace generator, so the engine can
+    schedule the matching departure.
+    """
+
+    ident: Optional[str] = None
+    session: Optional[float] = None
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.GOOD_JOIN
+
+
+@dataclass(frozen=True)
+class GoodDeparture(Event):
+    """A good ID departs.
+
+    If ``ident`` is ``None``, the departing ID is selected uniformly at
+    random from the good IDs currently in the system -- the ABC model's
+    rule when the adversary schedules a departure *event* but cannot pick
+    the victim (Section 2).
+    """
+
+    ident: Optional[str] = None
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.GOOD_DEPARTURE
+
+
+@dataclass(frozen=True)
+class BadJoin(Event):
+    """The adversary injects a Sybil ID (it must pay the entrance cost)."""
+
+    ident: Optional[str] = None
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.BAD_JOIN
+
+
+@dataclass(frozen=True)
+class BadDeparture(Event):
+    """The adversary withdraws one of its IDs (it picks which)."""
+
+    ident: str = ""
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.BAD_DEPARTURE
+
+
+@dataclass(frozen=True)
+class Tick(Event):
+    """A periodic opportunity for adversary/defense housekeeping."""
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.TICK
+
+
+@dataclass(frozen=True)
+class Callback(Event):
+    """Run an arbitrary function at a scheduled time.
+
+    Used by defenses that need future work (e.g. SybilControl's periodic
+    neighbor tests, REMP's recurring challenges, heartbeat timeouts).
+    """
+
+    fn: Callable[[float], None] = field(default=lambda _t: None)
+    label: str = ""
+
+    @property
+    def kind(self) -> EventKind:
+        return EventKind.CALLBACK

@@ -1,0 +1,210 @@
+"""Counters, time series, and spend meters.
+
+The paper's headline quantities are *rates*: the good spend rate ``A``
+(total resource-burning cost of good IDs per second) and the adversary's
+spend rate ``T``.  :class:`SpendMeter` accumulates raw costs and converts
+them to rates over a given horizon.  :class:`SlidingWindowCounter`
+implements the "number of IDs that joined within the last ``1/J̃``
+seconds" query at the heart of Ergo's entrance cost (Figure 4, Step 1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Tuple
+
+
+class Counter:
+    """A dictionary of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts})"
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} must be appended in time order"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return max(self._values)
+
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return min(self._values)
+
+    def last(self) -> float:
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """The most recent sample at or before ``time`` (step function)."""
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            raise ValueError(f"no sample at or before t={time}")
+        return self._values[idx]
+
+
+class SpendMeter:
+    """Accumulates resource-burning costs for one party.
+
+    Costs are classified by *category* (``"entrance"``, ``"purge"``,
+    ``"recurring"``, ...) so experiments can report the breakdown that
+    Section 7.1's intuition talks about (entrance costs vs purge costs).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._total = 0.0
+        self._by_category: Dict[str, float] = {}
+
+    def charge(self, amount: float, category: str = "other") -> None:
+        if amount < 0:
+            raise ValueError(f"negative charge on {self.name!r}: {amount}")
+        self._total += amount
+        self._by_category[category] = self._by_category.get(category, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def by_category(self) -> Dict[str, float]:
+        return dict(self._by_category)
+
+    def rate(self, horizon: float) -> float:
+        """Average spend per second over a horizon of ``horizon`` seconds."""
+        if horizon <= 0:
+            raise ValueError(f"non-positive horizon: {horizon}")
+        return self._total / horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpendMeter({self.name!r}, total={self._total:.2f})"
+
+
+class SlidingWindowCounter:
+    """Counts events inside a trailing time window of mutable width.
+
+    Ergo's entrance cost is ``1 +`` the number of IDs that joined within
+    the last ``1/J̃`` seconds *of the current iteration* (Figure 4).  The
+    window width changes whenever GoodJEst updates ``J̃``, and the counter
+    is cleared at iteration boundaries, so both operations are supported.
+
+    Events are stored as ``(time, count)`` batches so adversarial join
+    bursts of millions of IDs cost O(1) rather than O(burst size).
+    """
+
+    def __init__(self, width: float) -> None:
+        if width <= 0:
+            raise ValueError(f"window width must be positive: {width}")
+        self._width = float(width)
+        self._batches: Deque[List[float]] = deque()
+        self._sum = 0
+        #: events are never counted before this time (iteration start)
+        self._floor = float("-inf")
+
+    @property
+    def width(self) -> float:
+        return self._width
+
+    def set_width(self, width: float) -> None:
+        if width <= 0:
+            raise ValueError(f"window width must be positive: {width}")
+        self._width = float(width)
+
+    def clear(self, now: float) -> None:
+        """Forget all events and refuse to count anything before ``now``."""
+        self._batches.clear()
+        self._sum = 0
+        self._floor = float(now)
+
+    def record(self, now: float, count: int = 1) -> None:
+        if now < self._floor:
+            raise ValueError("cannot record an event before the window floor")
+        if count < 0:
+            raise ValueError(f"negative event count: {count}")
+        if count == 0:
+            return
+        if self._batches and self._batches[-1][0] == now:
+            self._batches[-1][1] += count
+        else:
+            self._batches.append([float(now), count])
+        self._sum += count
+
+    def count(self, now: float) -> int:
+        """Number of recorded events in ``(now - width, now]``.
+
+        Events at exactly ``now - width`` have aged out; events at
+        exactly the floor time (recorded in the same instant as a
+        ``clear``) still count.
+        """
+        cutoff = now - self._width
+        while self._batches and (
+            self._batches[0][0] <= cutoff or self._batches[0][0] < self._floor
+        ):
+            self._sum -= self._batches.popleft()[1]
+        return self._sum
+
+
+@dataclass
+class MetricSet:
+    """The standard bundle of metrics a simulation run produces."""
+
+    good: SpendMeter = field(default_factory=lambda: SpendMeter("good"))
+    adversary: SpendMeter = field(default_factory=lambda: SpendMeter("adversary"))
+    counters: Counter = field(default_factory=Counter)
+    bad_fraction: TimeSeries = field(
+        default_factory=lambda: TimeSeries("bad_fraction")
+    )
+    system_size: TimeSeries = field(default_factory=lambda: TimeSeries("system_size"))
+    estimate_ratio: TimeSeries = field(
+        default_factory=lambda: TimeSeries("estimate_ratio")
+    )
+
+    def good_spend_rate(self, horizon: float) -> float:
+        return self.good.rate(horizon)
+
+    def adversary_spend_rate(self, horizon: float) -> float:
+        return self.adversary.rate(horizon)

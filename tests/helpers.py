@@ -1,0 +1,35 @@
+"""Shared test helpers (importable; fixtures live in conftest.py)."""
+
+from __future__ import annotations
+
+from repro.churn.datasets import NETWORKS
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.rng import RngRegistry
+
+
+def run_small_sim(
+    defense,
+    adversary=None,
+    network: str = "gnutella",
+    horizon: float = 200.0,
+    n0: int = 600,
+    seed: int = 7,
+    equilibrium: bool = True,
+):
+    """Run a small end-to-end simulation; returns (result, defense)."""
+    registry = RngRegistry(seed=seed)
+    scenario = NETWORKS[network].scenario(
+        horizon=horizon,
+        rng=registry.stream("churn"),
+        n0=n0,
+        equilibrium=equilibrium,
+    )
+    sim = Simulation(
+        SimulationConfig(horizon=horizon, seed=seed),
+        defense,
+        scenario.events,
+        adversary=adversary,
+        rngs=registry,
+        initial_members=scenario.initial,
+    )
+    return sim.run(), defense

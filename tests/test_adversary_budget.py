@@ -1,0 +1,81 @@
+"""Tests for the adversary's resource budget."""
+
+import pytest
+
+from repro.adversary.budget import ResourceBudget
+
+
+def test_accrues_at_rate():
+    budget = ResourceBudget(rate=10.0)
+    budget.accrue(5.0)
+    assert budget.available == pytest.approx(50.0)
+
+
+def test_initial_endowment():
+    budget = ResourceBudget(rate=1.0, initial=100.0)
+    assert budget.available == 100.0
+
+
+def test_accrual_is_incremental():
+    budget = ResourceBudget(rate=2.0)
+    budget.accrue(1.0)
+    budget.accrue(3.0)
+    assert budget.available == pytest.approx(6.0)
+
+
+def test_accrual_backwards_rejected():
+    budget = ResourceBudget(rate=1.0)
+    budget.accrue(5.0)
+    with pytest.raises(ValueError, match="backwards"):
+        budget.accrue(4.0)
+
+
+def test_spend_tracks_totals():
+    budget = ResourceBudget(rate=1.0, initial=10.0)
+    budget.spend(4.0)
+    assert budget.available == pytest.approx(6.0)
+    assert budget.spent == pytest.approx(4.0)
+
+
+def test_overspend_rejected():
+    budget = ResourceBudget(rate=0.0, initial=1.0)
+    with pytest.raises(ValueError, match="overspend"):
+        budget.spend(2.0)
+
+
+def test_can_afford():
+    budget = ResourceBudget(rate=0.0, initial=5.0)
+    assert budget.can_afford(5.0)
+    assert not budget.can_afford(5.1)
+
+
+def test_reserve_and_refund_cycle():
+    budget = ResourceBudget(rate=0.0, initial=10.0)
+    taken = budget.reserve_all()
+    assert taken == pytest.approx(10.0)
+    assert budget.available == 0.0
+    budget.refund(7.0)  # only 3 were actually used
+    assert budget.available == pytest.approx(7.0)
+    assert budget.spent == pytest.approx(3.0)
+
+
+def test_partial_reserve():
+    budget = ResourceBudget(rate=0.0, initial=10.0)
+    taken = budget.reserve(4.0)
+    assert taken == pytest.approx(4.0)
+    assert budget.available == pytest.approx(6.0)
+    # Reserving more than available takes what's there.
+    taken = budget.reserve(100.0)
+    assert taken == pytest.approx(6.0)
+
+
+def test_negative_arguments_rejected():
+    budget = ResourceBudget(rate=1.0)
+    with pytest.raises(ValueError):
+        budget.spend(-1.0)
+    with pytest.raises(ValueError):
+        budget.refund(-1.0)
+    with pytest.raises(ValueError):
+        budget.reserve(-1.0)
+    with pytest.raises(ValueError):
+        ResourceBudget(rate=-1.0)

@@ -1,0 +1,110 @@
+"""Tests for adversary strategies."""
+
+import pytest
+
+from tests.helpers import run_small_sim
+from repro.adversary.strategies import (
+    BurstyJoinAdversary,
+    GreedyJoinAdversary,
+    LowerBoundAdversary,
+    MaintenanceAdversary,
+    PersistentFractionAdversary,
+)
+from repro.adversary.base import PassiveAdversary
+from repro.baselines.sybilcontrol import SybilControl
+from repro.core.ergo import Ergo
+from repro.experiments.estimation import EstimationHarness
+
+
+class TestGreedyJoin:
+    def test_spends_close_to_rate(self):
+        result, _ = run_small_sim(
+            Ergo(), adversary=GreedyJoinAdversary(rate=500.0),
+            horizon=200.0, n0=600,
+        )
+        # Greedy leaves at most a tiny residue unspent.
+        assert result.adversary_spend_rate == pytest.approx(500.0, rel=0.05)
+
+    def test_zero_rate_spends_nothing(self):
+        result, _ = run_small_sim(
+            Ergo(), adversary=GreedyJoinAdversary(rate=0.0),
+            horizon=100.0, n0=600,
+        )
+        assert result.adversary_spend == 0.0
+        assert result.max_bad_fraction == 0.0
+
+    def test_initial_budget_burst(self):
+        adversary = GreedyJoinAdversary(rate=0.0, initial_budget=100.0)
+        result, defense = run_small_sim(
+            Ergo(), adversary=adversary, horizon=50.0, n0=600
+        )
+        assert result.adversary_spend == pytest.approx(100.0, abs=15.0)
+
+
+class TestBursty:
+    def test_burst_period_validated(self):
+        with pytest.raises(ValueError):
+            BurstyJoinAdversary(rate=1.0, burst_period=0.0)
+
+    def test_bursts_still_spend_budget(self):
+        result, _ = run_small_sim(
+            Ergo(), adversary=BurstyJoinAdversary(rate=500.0, burst_period=25.0),
+            horizon=200.0, n0=600,
+        )
+        assert result.adversary_spend > 0.8 * 500.0 * 175.0
+
+
+class TestLowerBound:
+    def test_is_greedy_that_never_survives(self):
+        adversary = LowerBoundAdversary(rate=100.0)
+        assert adversary.respond_to_purge(50, 10, now=1.0) == 0
+
+
+class TestMaintenance:
+    def test_sustains_population_near_target(self):
+        rate = 400.0
+        adversary = MaintenanceAdversary(rate=rate)
+        # SybilControl's cost rate is 2/s per ID -> target 0.9*400/2.
+        result, defense = run_small_sim(
+            SybilControl(), adversary=adversary, horizon=200.0, n0=600,
+        )
+        target = adversary.utilization * rate / 2.0
+        assert defense.population.bad_count == pytest.approx(target, rel=0.2)
+
+    def test_funds_maintenance_partially(self):
+        adversary = MaintenanceAdversary(rate=10.0)
+        adversary.budget.accrue(1.0)  # 10 available
+        funded = adversary.fund_maintenance(bad_count=100, cost_per_id=2.0, now=1.0)
+        assert funded == 5
+        assert adversary.budget.available == pytest.approx(0.0)
+
+
+class TestPersistentFraction:
+    def test_pins_bad_fraction(self):
+        harness = EstimationHarness()
+        adversary = PersistentFractionAdversary(fraction=0.10)
+        result, harness = run_small_sim(
+            harness, adversary=adversary, horizon=100.0, n0=600
+        )
+        assert harness.population.bad_fraction() == pytest.approx(0.10, abs=0.02)
+
+    def test_zero_fraction_is_clean(self):
+        harness = EstimationHarness()
+        adversary = PersistentFractionAdversary(fraction=0.0)
+        result, harness = run_small_sim(
+            harness, adversary=adversary, horizon=50.0, n0=600
+        )
+        assert harness.population.bad_count == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            PersistentFractionAdversary(fraction=1.0)
+
+
+class TestPassive:
+    def test_never_acts(self):
+        result, defense = run_small_sim(
+            Ergo(), adversary=PassiveAdversary(), horizon=100.0, n0=600
+        )
+        assert result.adversary_spend == 0.0
+        assert defense.population.bad_count == 0

@@ -1,0 +1,80 @@
+"""Tests for the closed-form theory bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    entrance_cost_asymmetry,
+    ergo_spend_rate_bound,
+    goodjest_envelope,
+    interval_estimate_envelope,
+    intuition_spend_rate,
+)
+
+
+class TestTheorem1Bound:
+    def test_reduces_to_sqrt_tj_plus_j_at_unit_smoothness(self):
+        bound = ergo_spend_rate_bound(100.0, 4.0, alpha=1.0, beta=1.0)
+        assert bound == pytest.approx(math.sqrt(100.0 * 5.0) + 4.0)
+
+    def test_alpha_beta_exponents(self):
+        base = ergo_spend_rate_bound(0.0, 1.0, alpha=1.0, beta=1.0)
+        doubled_alpha = ergo_spend_rate_bound(0.0, 1.0, alpha=2.0, beta=1.0)
+        # With T=0 only the J term remains: scales as alpha^11.
+        assert doubled_alpha / base == pytest.approx(2.0**11)
+        doubled_beta = ergo_spend_rate_bound(0.0, 1.0, alpha=1.0, beta=2.0)
+        assert doubled_beta / base == pytest.approx(2.0**14)
+
+    def test_monotone_in_t(self):
+        values = [ergo_spend_rate_bound(t, 1.0) for t in (0.0, 10.0, 1000.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ergo_spend_rate_bound(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ergo_spend_rate_bound(1.0, 1.0, alpha=0.5)
+
+
+class TestIntuition:
+    def test_balanced_costs(self):
+        assert intuition_spend_rate(100.0, 1.0) == pytest.approx(20.0)
+
+    def test_zero_attack(self):
+        assert intuition_spend_rate(0.0, 5.0) == 0.0
+
+
+class TestGoodJEstEnvelope:
+    def test_theorem2_constants(self):
+        envelope = goodjest_envelope(alpha=1.0, beta=1.0)
+        assert envelope.lower_factor == pytest.approx(1 / 88)
+        assert envelope.upper_factor == pytest.approx(1867)
+
+    def test_contains(self):
+        envelope = goodjest_envelope()
+        assert envelope.contains(estimate=1.0, true_rate=1.0)
+        assert envelope.contains(estimate=4.0, true_rate=1.0)
+        assert not envelope.contains(estimate=1.0, true_rate=1e6)
+        assert not envelope.contains(estimate=1.0, true_rate=0.0)
+
+    def test_lemma5_envelope(self):
+        envelope = interval_estimate_envelope(beta=1.0)
+        assert envelope.lower_factor == pytest.approx(1 / 21)
+        assert envelope.upper_factor == pytest.approx(210)
+        wider = interval_estimate_envelope(beta=2.0)
+        assert wider.upper_factor == pytest.approx(840)
+
+
+class TestAsymmetry:
+    def test_section71_arithmetic(self):
+        adversary, good = entrance_cost_asymmetry(10)
+        assert adversary == pytest.approx(55.0)  # 1+2+...+10
+        assert good == pytest.approx(11.0)
+
+    def test_good_cost_is_sqrt_of_adversary(self):
+        adversary, good = entrance_cost_asymmetry(10_000)
+        assert good == pytest.approx(math.sqrt(2 * adversary), rel=0.01)
+
+    def test_zero(self):
+        assert entrance_cost_asymmetry(0) == (0.0, 1.0)

@@ -1,0 +1,99 @@
+"""Tests for the Lemma 1 / Lemma 11 empirical validators."""
+
+import pytest
+
+from repro.analysis.intervals import (
+    Span,
+    count_intersections,
+    interval_epoch_report,
+    max_epochs_per_interval,
+    max_intervals_per_iteration,
+)
+from repro.churn.epochs import Epoch
+from repro.core.goodjest import IntervalRecord
+
+
+def make_epoch(index, start, end, joins=10, size=100):
+    return Epoch(index=index, start=start, end=end, joins=joins, start_size=size)
+
+
+def make_interval(start, end):
+    return IntervalRecord(start=start, end=end, size_at_end=100, estimate=1.0)
+
+
+class TestSpans:
+    def test_intersections(self):
+        a = Span(0.0, 10.0)
+        assert a.intersects(Span(5.0, 15.0))
+        assert a.intersects(Span(-5.0, 1.0))
+        assert not a.intersects(Span(10.0, 20.0))  # half-open
+        assert not a.intersects(Span(-5.0, 0.0))
+
+    def test_count(self):
+        inner = [Span(0.0, 4.0), Span(4.0, 9.0)]
+        outer = [Span(0.0, 3.0), Span(3.0, 6.0), Span(6.0, 12.0)]
+        assert count_intersections(inner, outer) == [2, 2]
+
+
+class TestLemma1Validator:
+    def test_aligned_intervals_touch_one_epoch(self):
+        epochs = [make_epoch(0, 0.0, 10.0), make_epoch(1, 10.0, 20.0)]
+        intervals = [make_interval(0.0, 10.0), make_interval(10.0, 20.0)]
+        assert max_epochs_per_interval(intervals, epochs) == 1
+
+    def test_straddling_interval_touches_two(self):
+        epochs = [make_epoch(0, 0.0, 10.0), make_epoch(1, 10.0, 20.0)]
+        intervals = [make_interval(5.0, 15.0)]
+        assert max_epochs_per_interval(intervals, epochs) == 2
+
+    def test_open_epoch_charged(self):
+        epochs = [make_epoch(0, 0.0, 10.0)]
+        intervals = [make_interval(8.0, 30.0)]  # extends past last epoch
+        assert max_epochs_per_interval(intervals, epochs) == 2
+
+    def test_empty(self):
+        assert max_epochs_per_interval([], []) == 0
+
+
+class TestLemma11Validator:
+    def test_iterations_vs_intervals(self):
+        boundaries = [0.0, 10.0, 20.0]
+        intervals = [make_interval(0.0, 15.0), make_interval(15.0, 20.0)]
+        assert max_intervals_per_iteration(boundaries, intervals) == 2
+
+    def test_single_boundary(self):
+        assert max_intervals_per_iteration([0.0], [make_interval(0.0, 5.0)]) == 0
+
+
+class TestOnSimulatedHistory:
+    def test_lemma1_holds_on_a_real_run(self):
+        """Measure Lemma 1 on an actual GoodJEst history over churn with
+        known epochs: no interval may span 3+ epochs."""
+        import numpy as np
+
+        from repro.churn.epochs import find_epochs
+        from repro.churn.generators import smooth_trace
+        from repro.churn.traces import InitialMember
+        from repro.experiments.estimation import EstimationHarness
+        from repro.sim.engine import Simulation, SimulationConfig
+
+        rng = np.random.default_rng(3)
+        n0 = 240
+        events = smooth_trace(
+            n0=n0, epoch_rates=[1.0, 2.0, 4.0, 2.0, 1.0], rng=rng
+        )
+        harness = EstimationHarness()
+        sim = Simulation(
+            SimulationConfig(horizon=events[-1].time + 1.0),
+            harness,
+            list(events),
+            initial_members=[InitialMember(ident=f"init-{i}") for i in range(n0)],
+        )
+        sim.run()
+        epochs = find_epochs(events, [f"init-{i}" for i in range(n0)])
+        intervals = harness.goodjest.intervals
+        assert len(intervals) >= 2
+        assert len(epochs) >= 3
+        max_count, mean_count = interval_epoch_report(intervals, epochs)
+        assert max_count <= 2
+        assert mean_count >= 1.0

@@ -1,0 +1,73 @@
+"""Tests for the Theorem 3 lower bound (closed form + measured)."""
+
+import math
+
+import pytest
+
+from tests.helpers import run_small_sim
+from repro.adversary.strategies import LowerBoundAdversary
+from repro.analysis.lower_bound import (
+    lower_bound_spend_rate,
+    optimal_bad_join_rate,
+    satisfies_lower_bound,
+)
+from repro.baselines.ccom import CCom
+from repro.core.ergo import Ergo
+
+
+class TestClosedForm:
+    def test_formula(self):
+        assert lower_bound_spend_rate(100.0, 4.0) == pytest.approx(
+            math.sqrt(400.0) + 4.0
+        )
+
+    def test_zero_attack_leaves_join_term(self):
+        assert lower_bound_spend_rate(0.0, 3.0) == 3.0
+
+    def test_optimal_bad_rate(self):
+        assert optimal_bad_join_rate(100.0, 4.0) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_spend_rate(-1.0, 1.0)
+
+    def test_satisfies_check(self):
+        assert satisfies_lower_bound(100.0, t_rate=100.0, j_rate=4.0)
+        assert not satisfies_lower_bound(0.01, t_rate=1e6, j_rate=4.0)
+
+
+class TestMeasuredAgainstBound:
+    """Theorem 3 applies to B1-B3 algorithms: neither Ergo nor CCom can
+    spend below Ω(√(TJ)+J) under the join-and-drop strategy."""
+
+    @pytest.mark.parametrize("factory", [Ergo, CCom], ids=["ergo", "ccom"])
+    def test_spend_at_least_the_bound(self, factory):
+        t_rate = 10_000.0
+        result, _ = run_small_sim(
+            factory(),
+            adversary=LowerBoundAdversary(rate=t_rate),
+            horizon=150.0,
+            n0=600,
+        )
+        j_rate = result.counters.get("good_join_events", 0) / 150.0
+        assert satisfies_lower_bound(
+            result.good_spend_rate, result.adversary_spend_rate, max(j_rate, 0.01)
+        )
+
+    def test_ergo_is_near_optimal_ccom_is_not(self):
+        """Ergo sits within a modest factor of the bound; CCom's gap is
+        ~√T larger (Theorem 1 optimality vs the O(T+J) baseline)."""
+        t_rate = 50_000.0
+        gaps = {}
+        for name, factory in (("ergo", Ergo), ("ccom", CCom)):
+            result, _ = run_small_sim(
+                factory(),
+                adversary=LowerBoundAdversary(rate=t_rate),
+                horizon=150.0,
+                n0=600,
+                seed=3,
+            )
+            j_rate = max(result.counters.get("good_join_events", 0) / 150.0, 0.01)
+            bound = lower_bound_spend_rate(result.adversary_spend_rate, j_rate)
+            gaps[name] = result.good_spend_rate / bound
+        assert gaps["ccom"] > 3.0 * gaps["ergo"]

@@ -1,0 +1,59 @@
+"""Tests for text tables, ASCII plots, and CSV serialization."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_loglog_plot, format_table, series_to_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[123456.789]])
+        assert "1.235e+05" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        series = {
+            "up": [(1.0, 1.0), (10.0, 10.0), (100.0, 100.0)],
+            "flat": [(1.0, 50.0), (100.0, 50.0)],
+        }
+        text = ascii_loglog_plot(series, title="demo")
+        assert "demo" in text
+        assert "o=up" in text
+        assert "*=flat" in text
+        assert "o" in text.split("\n", 3)[3]
+
+    def test_drops_nonpositive_points(self):
+        text = ascii_loglog_plot({"s": [(0.0, 1.0), (-1.0, 2.0)]})
+        assert "no positive data" in text
+
+    def test_axis_ranges_reported(self):
+        text = ascii_loglog_plot({"s": [(1.0, 1.0), (1000.0, 1e6)]})
+        assert "1e0.0" in text
+        assert "1e3.0" in text
+        assert "1e6.0" in text
+
+
+class TestCsv:
+    def test_serialization(self):
+        text = series_to_csv({"a": [(1.0, 2.0)], "b": [(3.0, 4.0)]}, x_name="T")
+        lines = text.strip().splitlines()
+        assert lines[0] == "T,series,y"
+        assert "1.0,a,2.0" in lines
+        assert "3.0,b,4.0" in lines
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        series_to_csv({"a": [(1.0, 2.0)]}, path=str(path))
+        assert path.read_text().startswith("x,series,y")

@@ -1,0 +1,65 @@
+"""Tests for statistical helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, log_slope, max_ratio_spread, median
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestLogSlope:
+    def test_linear_relationship(self):
+        xs = [1.0, 10.0, 100.0]
+        ys = [2.0, 20.0, 200.0]
+        assert log_slope(xs, ys) == pytest.approx(1.0)
+
+    def test_sqrt_relationship(self):
+        xs = [1.0, 100.0, 10_000.0]
+        ys = [math.sqrt(x) for x in xs]
+        assert log_slope(xs, ys) == pytest.approx(0.5)
+
+    def test_flat(self):
+        assert log_slope([1.0, 10.0], [5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            log_slope([2.0, 2.0], [1.0, 3.0])
+
+
+class TestSpread:
+    def test_flat_is_one(self):
+        assert max_ratio_spread([5.0, 5.0, 5.0]) == 1.0
+
+    def test_ratio(self):
+        assert max_ratio_spread([2.0, 8.0]) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_ratio_spread([])
+        with pytest.raises(ValueError):
+            max_ratio_spread([0.0, 1.0])

@@ -1,0 +1,55 @@
+"""Tests for the theory-vs-measured validation report."""
+
+import pytest
+
+from tests.helpers import run_small_sim
+from repro.adversary.strategies import GreedyJoinAdversary, LowerBoundAdversary
+from repro.analysis.validation import validate_run
+from repro.core.ergo import Ergo
+
+
+def test_clean_run_passes_all_checks():
+    result, _ = run_small_sim(Ergo(), horizon=100.0, n0=600)
+    report = validate_run(result)
+    assert report.passed, report.render()
+    assert report.failures() == []
+
+
+def test_attacked_run_passes_all_checks():
+    result, _ = run_small_sim(
+        Ergo(), adversary=GreedyJoinAdversary(rate=5_000.0),
+        horizon=150.0, n0=600,
+    )
+    report = validate_run(result)
+    assert report.passed, report.render()
+
+
+def test_lower_bound_check_for_join_and_drop():
+    result, _ = run_small_sim(
+        Ergo(), adversary=LowerBoundAdversary(rate=10_000.0),
+        horizon=150.0, n0=600,
+    )
+    report = validate_run(result, check_lower_bound=True)
+    assert report.passed, report.render()
+    names = {check.name for check in report.checks}
+    assert "theorem3.lower_bound" in names
+
+
+def test_render_mentions_every_check():
+    result, _ = run_small_sim(Ergo(), horizon=50.0, n0=600)
+    report = validate_run(result)
+    text = report.render()
+    assert "lemma9.bad_fraction" in text
+    assert "theorem1.upper_bound" in text
+    assert "accounting.closure" in text
+    assert "PASS" in text
+
+
+def test_violation_detected():
+    """A fabricated result with a bad-majority must fail Lemma 9."""
+    result, _ = run_small_sim(Ergo(), horizon=50.0, n0=600)
+    object.__setattr__ if False else None
+    result.max_bad_fraction = 0.5  # simulate a broken defense
+    report = validate_run(result)
+    assert not report.passed
+    assert any(c.name == "lemma9.bad_fraction" for c in report.failures())

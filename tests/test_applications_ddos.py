@@ -1,0 +1,96 @@
+"""Tests for the application-layer DDoS mitigation (§13.2)."""
+
+import math
+
+import pytest
+
+from repro.applications.ddos import PricedJobQueue, RequestRateEstimator
+
+
+class TestRequestRateEstimator:
+    def test_initial_estimate(self):
+        assert RequestRateEstimator(initial_rate=2.0).estimate == 2.0
+
+    def test_converges_to_observed_rate(self):
+        estimator = RequestRateEstimator(initial_rate=100.0)
+        now = 0.0
+        for _ in range(400):
+            now += 0.5  # 2 requests/second
+            estimator.observe(now)
+        assert estimator.estimate == pytest.approx(2.0, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestRateEstimator(initial_rate=0.0)
+
+
+class TestPricedJobQueue:
+    def test_quiet_clients_pay_one(self):
+        queue = PricedJobQueue(capacity_per_second=10.0, initial_rate=1.0)
+        now = 0.0
+        costs = []
+        for _ in range(20):
+            now += 5.0  # well-spaced requests
+            served, cost = queue.submit_good(now)
+            assert served
+            costs.append(cost)
+        assert max(costs) <= 2.0
+
+    def test_flood_priced_quadratically(self):
+        queue = PricedJobQueue(capacity_per_second=10.0, initial_rate=1.0)
+        jobs, cost = queue.submit_attack_burst(now=10.0, budget=1000.0)
+        # Sum 1..m <= 1000 -> m = 44.
+        assert jobs == 44
+        assert cost == pytest.approx(990.0)
+
+    def test_attacker_cost_scales_quadratically_with_jobs(self):
+        per_window_jobs = []
+        for budget in (500.0, 2000.0, 8000.0):
+            queue = PricedJobQueue(capacity_per_second=10.0)
+            jobs, _ = queue.submit_attack_burst(now=10.0, budget=budget)
+            per_window_jobs.append(jobs)
+        # 4x budget -> ~2x jobs (sqrt scaling).
+        assert per_window_jobs[1] / per_window_jobs[0] == pytest.approx(2.0, rel=0.15)
+        assert per_window_jobs[2] / per_window_jobs[1] == pytest.approx(2.0, rel=0.15)
+
+    def test_good_client_cost_grows_sublinearly_under_attack(self):
+        """The Theorem-1 asymmetry, transplanted: the legitimate client's
+        per-request cost is ~the flood size per window, i.e. ~sqrt of the
+        attacker's per-window spend."""
+        results = {}
+        for budget in (1000.0, 16_000.0):
+            queue = PricedJobQueue(capacity_per_second=50.0, initial_rate=1.0)
+            now = 100.0
+            queue.submit_attack_burst(now, budget)
+            _served, cost = queue.submit_good(now)
+            results[budget] = cost
+        ratio = results[16_000.0] / results[1000.0]
+        assert ratio == pytest.approx(4.0, rel=0.3)  # sqrt(16) = 4
+
+    def test_capacity_protects_goodput(self):
+        """Even when the flood is admitted, the backlog bound drops the
+        excess instead of starving later legitimate jobs forever."""
+        queue = PricedJobQueue(capacity_per_second=100.0, initial_rate=1.0)
+        queue.submit_attack_burst(now=0.0, budget=10_000.0)
+        served_later = 0
+        now = 5.0
+        for _ in range(50):
+            now += 1.0
+            served, _cost = queue.submit_good(now)
+            served_later += served
+        assert served_later == 50
+
+    def test_stats_track_both_sides(self):
+        queue = PricedJobQueue(capacity_per_second=10.0)
+        queue.submit_good(1.0)
+        queue.submit_attack_burst(2.0, budget=10.0)
+        assert queue.stats.served_good == 1
+        assert queue.stats.attacker_cost > 0
+        assert queue.stats.goodput(10.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PricedJobQueue(capacity_per_second=0.0)
+        queue = PricedJobQueue(capacity_per_second=1.0)
+        with pytest.raises(ValueError):
+            queue.stats.goodput(0.0)

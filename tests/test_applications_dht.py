@@ -1,0 +1,142 @@
+"""Tests for the Sybil-resistant DHT (Section 13.2 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.dht import ChordRing, SybilResistantDHT, ring_hash
+
+
+def build_ring(n=64, bad_every=None):
+    ring = ChordRing()
+    for i in range(n):
+        is_good = bad_every is None or (i % bad_every != 0)
+        ring.join(f"node{i}", is_good=is_good)
+    ring.build_fingers()
+    return ring
+
+
+class TestChordRing:
+    def test_join_and_size(self):
+        ring = build_ring(16)
+        assert len(ring) == 16
+
+    def test_duplicate_join_rejected(self):
+        ring = ChordRing()
+        ring.join("a")
+        with pytest.raises(ValueError):
+            ring.join("a")
+
+    def test_leave(self):
+        ring = build_ring(8)
+        ring.leave("node3")
+        assert len(ring) == 7
+        ring.leave("ghost")  # no-op
+
+    def test_successor_wraps_around(self):
+        ring = build_ring(8)
+        positions = sorted(n.position for n in ring.nodes())
+        past_last = (positions[-1] + 1) % (2**64)
+        owner = ring.successor(past_last)
+        assert ring.node(owner).position == positions[0]
+
+    def test_owner_is_first_at_or_after_key(self):
+        ring = build_ring(32)
+        key = "some-key"
+        owner = ring.owner_of(key)
+        point = ring_hash(key)
+        owner_pos = ring.node(owner).position
+        for node in ring.nodes():
+            distance = (node.position - point) % (2**64)
+            assert distance >= (owner_pos - point) % (2**64)
+
+    def test_route_reaches_owner(self):
+        ring = build_ring(128)
+        for key in ("alpha", "beta", "gamma"):
+            owner = ring.owner_of(key)
+            for start in ("node0", "node7", "node99"):
+                path = ring.route(start, key)
+                assert path[-1] == owner or path[0] == owner
+
+    def test_route_is_logarithmic(self):
+        ring = build_ring(256)
+        lengths = [
+            len(ring.route("node0", f"key{k}")) for k in range(50)
+        ]
+        # Chord: O(log n) hops; log2(256) = 8, allow headroom.
+        assert max(lengths) <= 16
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            ChordRing().successor(0)
+
+
+class TestSybilResistantDHT:
+    def _make(self, good=300, bad=50, swarm_size=15, redundancy=3):
+        dht = SybilResistantDHT(redundancy=redundancy, swarm_size=swarm_size)
+        dht.sync_membership(
+            [f"g{i}" for i in range(good)], [f"b{i}" for i in range(bad)]
+        )
+        return dht
+
+    def test_put_and_clean_lookup(self):
+        dht = self._make(good=100, bad=0)
+        dht.put("k", "v")
+        rng = np.random.default_rng(0)
+        result = dht.lookup("k", rng)
+        assert result.correct
+        assert result.value == "v"
+
+    def test_lookup_missing_key(self):
+        dht = self._make(good=50, bad=0)
+        rng = np.random.default_rng(0)
+        result = dht.lookup("nope", rng)
+        assert result.value is None
+        assert result.correct
+
+    def test_swarms_cover_all_nodes(self):
+        dht = self._make(good=97, bad=20, swarm_size=10)
+        stats = dht.swarm_stats()
+        assert stats["swarms"] == 12  # ceil(117/10)
+        assert len(dht._swarm_of) == 117
+
+    def test_defid_fraction_keeps_lookups_correct(self):
+        """With Sybils below 1/6 (Ergo's guarantee) and swarm vouching,
+        essentially all lookups are correct."""
+        rng = np.random.default_rng(1)
+        dht = self._make(good=500, bad=90, swarm_size=15)  # 15.3% bad
+        stats = dht.swarm_stats()
+        assert stats["bad_majority_fraction"] <= 0.02
+        wrong = 0
+        for k in range(200):
+            key = f"key{k}"
+            dht.put(key, f"value{k}")
+            if not dht.lookup(key, rng).correct:
+                wrong += 1
+        assert wrong <= 2
+
+    def test_bad_majority_breaks_lookups(self):
+        """Sanity check on the threat model: without the DefID bound the
+        swarms fall and lookups get poisoned."""
+        rng = np.random.default_rng(2)
+        dht = self._make(good=80, bad=400, swarm_size=15)
+        dht.put("k", "v")
+        poisoned = sum(
+            1 for _ in range(30) if not dht.lookup("k", rng).correct
+        )
+        assert poisoned > 15
+
+    def test_sync_membership_removes_departed(self):
+        dht = self._make(good=20, bad=5)
+        dht.sync_membership([f"g{i}" for i in range(10)], [])
+        assert len(dht.ring) == 10
+
+    def test_poisoning_rate_diagnostic(self):
+        rng = np.random.default_rng(3)
+        clean = self._make(good=200, bad=0)
+        assert clean.poisoning_rate([f"k{i}" for i in range(50)], rng) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SybilResistantDHT(redundancy=0)
+        with pytest.raises(ValueError):
+            SybilResistantDHT(swarm_size=0)

@@ -1,0 +1,84 @@
+"""Tests for the purge-challenge incentive mechanisms (Section 13.1)."""
+
+import numpy as np
+import pytest
+
+from repro.applications.incentives import DifficultyController, PuzzleLottery
+
+
+class TestPuzzleLottery:
+    def test_winner_among_participants(self, rng):
+        lottery = PuzzleLottery(reward=5.0)
+        outcome = lottery.run_round(["a", "b", "c"], rng)
+        assert outcome.winner in {"a", "b", "c"}
+        assert outcome.reward == 5.0
+        assert lottery.winnings(outcome.winner) == 5.0
+
+    def test_fairness_over_many_rounds(self, rng):
+        lottery = PuzzleLottery(reward=1.0)
+        participants = [f"p{i}" for i in range(10)]
+        rounds = 5_000
+        for _ in range(rounds):
+            lottery.run_round(participants, rng)
+        expected = rounds / 10
+        for ident in participants:
+            assert lottery.winnings(ident) == pytest.approx(expected, rel=0.15)
+
+    def test_expected_reward_and_utility(self):
+        lottery = PuzzleLottery(reward=100.0)
+        assert lottery.expected_reward_per_round(50) == pytest.approx(2.0)
+        # Rational to participate when reward/population > solve cost.
+        assert lottery.net_utility_per_round(50, solve_cost=1.0) > 0
+        assert lottery.net_utility_per_round(200, solve_cost=1.0) < 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PuzzleLottery(reward=0.0)
+        lottery = PuzzleLottery()
+        with pytest.raises(ValueError):
+            lottery.run_round([], rng)
+        with pytest.raises(ValueError):
+            lottery.expected_reward_per_round(0)
+
+
+class TestDifficultyController:
+    def test_converges_after_hardware_speedup(self):
+        controller = DifficultyController(smoothing=4)
+        speed = 1.0
+        assert controller.converged(speed)
+        speed = 8.0  # hardware got 8x faster: puzzles now solve in 1/8s
+        for _round in range(40):
+            controller.observe_solve_time(controller.solve_time_on(speed))
+        assert controller.converged(speed, tolerance=0.1)
+        assert controller.difficulty == pytest.approx(8.0, rel=0.15)
+
+    def test_converges_after_slowdown(self):
+        controller = DifficultyController(smoothing=2, initial_difficulty=16.0)
+        speed = 1.0
+        for _round in range(40):
+            controller.observe_solve_time(controller.solve_time_on(speed))
+        assert controller.converged(speed, tolerance=0.1)
+
+    def test_step_clamped(self):
+        controller = DifficultyController(smoothing=1, max_step=2.0)
+        controller.observe_solve_time(0.001)  # would suggest a 1000x jump
+        assert controller.difficulty == pytest.approx(2.0)
+
+    def test_no_adjustment_before_smoothing_window(self):
+        controller = DifficultyController(smoothing=5)
+        for _ in range(4):
+            assert controller.observe_solve_time(0.5) is None
+        assert controller.adjustments == 0
+        assert controller.observe_solve_time(0.5) is not None
+        assert controller.adjustments == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DifficultyController(target_solve_time=0.0)
+        with pytest.raises(ValueError):
+            DifficultyController(max_step=1.0)
+        controller = DifficultyController()
+        with pytest.raises(ValueError):
+            controller.observe_solve_time(0.0)
+        with pytest.raises(ValueError):
+            controller.solve_time_on(0.0)

@@ -1,0 +1,69 @@
+"""Tests for the CCom baseline."""
+
+import pytest
+
+from tests.helpers import run_small_sim
+from repro.adversary.strategies import GreedyJoinAdversary
+from repro.baselines.ccom import CCom
+from repro.churn.traces import InitialMember
+from repro.sim.engine import Simulation, SimulationConfig
+
+
+def build(n0=44, horizon=10.0):
+    defense = CCom()
+    sim = Simulation(
+        SimulationConfig(horizon=horizon),
+        defense,
+        [],
+        initial_members=[InitialMember(ident=f"i{k}") for k in range(n0)],
+    )
+    sim.run()
+    return sim, defense
+
+
+def test_entrance_cost_always_one():
+    sim, defense = build()
+    assert defense.quote_entrance_cost() == 1.0
+    defense._window.record(defense.now, 50)  # congestion is ignored
+    assert defense.quote_entrance_cost() == 1.0
+
+
+def test_good_join_charges_one():
+    sim, defense = build()
+    before = defense.accountant.good_total
+    defense.process_good_join()
+    assert defense.accountant.good_total == before + 1.0
+
+
+def test_bad_joins_cost_face_value():
+    sim, defense = build(n0=440)
+    attempted, cost = defense.process_bad_join_batch(budget=25.0)
+    assert attempted == 25
+    assert cost == 25.0
+
+
+def test_flood_triggers_linear_purging():
+    sim, defense = build(n0=440)
+    # threshold = 40; a 100-join flood forces 2 purges.
+    defense.process_bad_join_batch(budget=100.0)
+    assert defense.purge_count == 2
+    assert defense.population.bad_count == 100 - 2 * 40
+
+
+def test_spend_rate_about_11x_t_under_flood():
+    """CCom's signature: A ≈ 11·T during a large attack (one purge per
+    |S|/11 events, each costing |S|)."""
+    result, defense = run_small_sim(
+        CCom(), adversary=GreedyJoinAdversary(rate=50_000.0),
+        horizon=100.0, n0=600,
+    )
+    ratio = result.good_spend_rate / result.adversary_spend_rate
+    assert ratio == pytest.approx(11.0, rel=0.15)
+
+
+def test_maintains_defid_by_purging():
+    result, _ = run_small_sim(
+        CCom(), adversary=GreedyJoinAdversary(rate=50_000.0),
+        horizon=100.0, n0=600,
+    )
+    assert result.max_bad_fraction < 1 / 6

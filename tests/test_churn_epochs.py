@@ -1,0 +1,128 @@
+"""Tests for epoch detection (Section 2.1.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn.epochs import EpochTracker, find_epochs
+from repro.sim.events import GoodDeparture, GoodJoin
+
+
+def test_epoch_ends_when_half_changed_by_joins():
+    tracker = EpochTracker()
+    tracker.start([f"i{k}" for k in range(10)], now=0.0)
+    # Joins alone: sym diff exceeds 5 at the 6th join.
+    for j in range(6):
+        tracker.on_join(f"n{j}", now=float(j + 1))
+    assert len(tracker.completed) == 1
+    epoch = tracker.completed[0]
+    assert epoch.joins == 6
+    assert epoch.start_size == 10
+    assert epoch.end == pytest.approx(6.0)
+
+
+def test_epoch_ends_when_half_departed():
+    tracker = EpochTracker()
+    tracker.start([f"i{k}" for k in range(10)], now=0.0)
+    for j in range(6):
+        tracker.on_depart(f"i{j}", now=float(j + 1))
+    assert len(tracker.completed) == 1
+    assert tracker.completed[0].joins == 0
+
+
+def test_join_then_depart_cancels():
+    tracker = EpochTracker()
+    tracker.start([f"i{k}" for k in range(10)], now=0.0)
+    for j in range(20):
+        tracker.on_join(f"n{j}", now=float(j) + 0.1)
+        tracker.on_depart(f"n{j}", now=float(j) + 0.2)
+    # 20 join+depart pairs of the same IDs: symmetric difference never
+    # grew, so no epoch ended (the Section 8.1 subtlety again).
+    assert tracker.completed == []
+
+
+def test_join_rate_computed_per_epoch():
+    tracker = EpochTracker()
+    tracker.start([f"i{k}" for k in range(10)], now=0.0)
+    for j in range(6):
+        tracker.on_join(f"n{j}", now=float(j + 1))
+    epoch = tracker.completed[0]
+    assert epoch.join_rate == pytest.approx(1.0)
+    assert epoch.duration == pytest.approx(6.0)
+
+
+def test_multiple_epochs_tile_time():
+    tracker = EpochTracker()
+    tracker.start([f"i{k}" for k in range(8)], now=0.0)
+    for j in range(40):
+        tracker.on_join(f"n{j}", now=float(j + 1))
+    epochs = tracker.completed
+    assert len(epochs) >= 2
+    for prev, cur in zip(epochs, epochs[1:]):
+        assert cur.start == prev.end
+        assert cur.index == prev.index + 1
+
+
+def test_departure_of_unknown_id_ignored():
+    tracker = EpochTracker()
+    tracker.start(["a"], now=0.0)
+    tracker.on_depart("ghost", now=1.0)
+    assert tracker.completed == []
+
+
+def test_current_epoch_rate():
+    tracker = EpochTracker()
+    tracker.start(["a", "b", "c", "d"], now=0.0)
+    assert tracker.current_epoch_rate(0.0) is None
+    tracker.on_join("x", now=1.0)
+    assert tracker.current_epoch_rate(2.0) == pytest.approx(0.5)
+
+
+def test_find_epochs_offline_matches_online():
+    initial = [f"i{k}" for k in range(10)]
+    events = []
+    for j in range(30):
+        events.append(GoodJoin(time=float(j + 1), ident=f"n{j}"))
+    epochs = find_epochs(events, initial)
+    tracker = EpochTracker()
+    tracker.start(initial, now=0.0)
+    for j in range(30):
+        tracker.on_join(f"n{j}", now=float(j + 1))
+    assert [e.end for e in epochs] == [e.end for e in tracker.completed]
+
+
+def test_find_epochs_requires_explicit_idents():
+    with pytest.raises(ValueError, match="explicit idents"):
+        find_epochs([GoodDeparture(time=1.0, ident=None)], ["a"])
+
+
+@given(st.lists(st.booleans(), min_size=10, max_size=150))
+@settings(max_examples=50, deadline=None)
+def test_epoch_boundary_property(ops):
+    """Property: at every completed epoch boundary, the symmetric
+    difference of good sets just exceeded half the start population."""
+    initial = [f"i{k}" for k in range(12)]
+    tracker = EpochTracker()
+    tracker.start(initial, now=0.0)
+    present = list(initial)
+    snapshot = set(initial)
+    boundaries = 0
+    counter = 0
+    time = 0.0
+    for is_join in ops:
+        time += 1.0
+        if is_join or not present:
+            counter += 1
+            ident = f"n{counter}"
+            tracker.on_join(ident, now=time)
+            present.append(ident)
+        else:
+            victim = present.pop(0)
+            tracker.on_depart(victim, now=time)
+        if len(tracker.completed) > boundaries:
+            # Epoch just rolled: diff vs snapshot must exceed half.
+            diff = len(set(present) ^ snapshot)
+            start_size = len(snapshot)
+            assert diff > 0.5 * start_size
+            snapshot = set(present)
+            boundaries += 1

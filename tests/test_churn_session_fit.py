@@ -1,0 +1,95 @@
+"""Tests for session-distribution fitting (parameter recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.churn.session_fit import (
+    fit_best,
+    fit_exponential,
+    fit_lognormal,
+    fit_weibull,
+    network_model_from_sessions,
+)
+from repro.churn.sessions import ExponentialSessions, WeibullSessions
+
+
+@pytest.fixture
+def weibull_data(rng):
+    sessions = WeibullSessions(shape=0.59, scale_seconds=2460.0)
+    return [sessions.sample(rng) for _ in range(6000)]
+
+
+@pytest.fixture
+def exponential_data(rng):
+    sessions = ExponentialSessions(8280.0)
+    return [sessions.sample(rng) for _ in range(6000)]
+
+
+class TestExponentialFit:
+    def test_recovers_mean(self, exponential_data):
+        fit = fit_exponential(exponential_data)
+        assert fit.distribution.mean() == pytest.approx(8280.0, rel=0.05)
+        assert fit.family == "exponential"
+
+    def test_rejects_bad_data(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1.0] * 3)  # too few
+        with pytest.raises(ValueError):
+            fit_exponential([1.0] * 7 + [-1.0])
+
+
+class TestWeibullFit:
+    def test_recovers_parameters(self, weibull_data):
+        fit = fit_weibull(weibull_data)
+        shape, scale = fit.parameters
+        assert shape == pytest.approx(0.59, rel=0.08)
+        assert scale == pytest.approx(2460.0, rel=0.10)
+
+    def test_exponential_special_case(self, exponential_data):
+        """Weibull with shape 1 is exponential; the fit should find it."""
+        fit = fit_weibull(exponential_data)
+        shape, _scale = fit.parameters
+        assert shape == pytest.approx(1.0, rel=0.08)
+
+
+class TestLogNormalFit:
+    def test_recovers_parameters(self, rng):
+        from repro.churn.sessions import LogNormalSessions
+
+        sessions = LogNormalSessions(mu=7.0, sigma=0.8)
+        data = [sessions.sample(rng) for _ in range(6000)]
+        fit = fit_lognormal(data)
+        mu, sigma = fit.parameters
+        assert mu == pytest.approx(7.0, abs=0.1)
+        assert sigma == pytest.approx(0.8, abs=0.08)
+
+
+class TestModelSelection:
+    def test_aic_picks_the_generating_family(self, weibull_data, exponential_data):
+        assert fit_best(weibull_data).family == "weibull"
+        # Exponential data: Weibull nests it, so AIC's parameter penalty
+        # must tip selection to the 1-parameter family.
+        assert fit_best(exponential_data).family in ("exponential", "weibull")
+
+    def test_network_model_roundtrip(self, weibull_data):
+        model = network_model_from_sessions("custom", weibull_data, n0=500)
+        assert model.n0 == 500
+        assert model.sessions.mean() == pytest.approx(
+            float(np.mean(weibull_data)), rel=0.1
+        )
+        assert "weibull" in model.description
+
+
+class TestFitIntegration:
+    def test_fitted_model_runs_a_simulation(self, weibull_data):
+        from tests.helpers import run_small_sim
+        from repro.core.ergo import Ergo
+        from repro.churn.datasets import NETWORKS
+
+        model = network_model_from_sessions("fit-net", weibull_data, n0=300)
+        NETWORKS["fit-net"] = model
+        try:
+            result, _ = run_small_sim(Ergo(), network="fit-net", horizon=100.0, n0=300)
+            assert result.final_system_size > 0
+        finally:
+            del NETWORKS["fit-net"]

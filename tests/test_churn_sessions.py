@@ -1,0 +1,104 @@
+"""Tests for session distributions and equilibrium residual sampling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.churn.sessions import (
+    EquilibriumResidualSampler,
+    ExponentialSessions,
+    LogNormalSessions,
+    WeibullSessions,
+)
+
+
+class TestWeibull:
+    def test_mean_matches_closed_form(self):
+        sessions = WeibullSessions(shape=0.59, scale_seconds=2460.0)
+        expected = 2460.0 * math.gamma(1.0 + 1.0 / 0.59)
+        assert sessions.mean() == pytest.approx(expected)
+
+    def test_sample_mean_converges(self, rng):
+        sessions = WeibullSessions(shape=0.59, scale_seconds=2460.0)
+        draws = [sessions.sample(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(sessions.mean(), rel=0.1)
+
+    def test_survival_decreasing(self):
+        sessions = WeibullSessions(shape=0.52, scale_seconds=100.0)
+        values = [sessions.survival(x) for x in (0, 1, 10, 100, 1000)]
+        assert values[0] == 1.0
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WeibullSessions(shape=0.0, scale_seconds=1.0)
+        with pytest.raises(ValueError):
+            WeibullSessions(shape=1.0, scale_seconds=-1.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        assert ExponentialSessions(8280.0).mean() == 8280.0
+
+    def test_survival(self):
+        sessions = ExponentialSessions(100.0)
+        assert sessions.survival(100.0) == pytest.approx(math.exp(-1.0))
+
+    def test_sample_mean_converges(self, rng):
+        sessions = ExponentialSessions(500.0)
+        draws = [sessions.sample(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(500.0, rel=0.1)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialSessions(0.0)
+
+
+class TestLogNormal:
+    def test_mean_matches_closed_form(self):
+        sessions = LogNormalSessions(mu=5.0, sigma=1.0)
+        assert sessions.mean() == pytest.approx(math.exp(5.5))
+
+    def test_survival_at_median(self):
+        sessions = LogNormalSessions(mu=3.0, sigma=0.7)
+        median = math.exp(3.0)
+        assert sessions.survival(median) == pytest.approx(0.5, abs=1e-9)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormalSessions(mu=0.0, sigma=0.0)
+
+
+class TestEquilibriumResidualSampler:
+    def test_exponential_equilibrium_is_exponential(self, rng):
+        """Memorylessness: the equilibrium residual of an exponential
+        session distribution is the same exponential."""
+        sessions = ExponentialSessions(1000.0)
+        sampler = EquilibriumResidualSampler(sessions)
+        draws = np.array([sampler.sample(rng) for _ in range(20_000)])
+        assert draws.mean() == pytest.approx(1000.0, rel=0.1)
+        # Exponential: std == mean.
+        assert draws.std() == pytest.approx(1000.0, rel=0.15)
+
+    def test_weibull_equilibrium_mean_matches_theory(self, rng):
+        """E[residual] = E[S²]/(2·E[S]) by renewal theory."""
+        shape, scale = 0.59, 2460.0
+        sessions = WeibullSessions(shape=shape, scale_seconds=scale)
+        second_moment = scale**2 * math.gamma(1.0 + 2.0 / shape)
+        expected = second_moment / (2.0 * sessions.mean())
+        sampler = EquilibriumResidualSampler(sessions)
+        draws = np.array([sampler.sample(rng) for _ in range(20_000)])
+        assert draws.mean() == pytest.approx(expected, rel=0.15)
+
+    def test_heavy_tail_residuals_exceed_session_mean(self, rng):
+        """Inspection paradox: for a heavy-tailed Weibull (shape < 1)
+        the mean residual exceeds the mean session."""
+        sessions = WeibullSessions(shape=0.5, scale_seconds=1000.0)
+        sampler = EquilibriumResidualSampler(sessions)
+        draws = [sampler.sample(rng) for _ in range(20_000)]
+        assert np.mean(draws) > sessions.mean()
+
+    def test_samples_nonnegative(self, rng):
+        sampler = EquilibriumResidualSampler(ExponentialSessions(10.0))
+        assert all(sampler.sample(rng) >= 0 for _ in range(100))

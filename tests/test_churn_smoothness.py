@@ -1,0 +1,135 @@
+"""Tests for (α, β) smoothness measurement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.churn.abc_model import AbcParameters, minimum_n0
+from repro.churn.epochs import find_epochs
+from repro.churn.generators import smooth_trace
+from repro.churn.smoothness import (
+    estimate_smoothness,
+    measure_alpha,
+    measure_beta,
+    verify_smoothness,
+)
+from repro.sim.events import GoodJoin
+
+
+class TestAbcParameters:
+    def test_definition_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            AbcParameters(alpha=0.5)
+        with pytest.raises(ValueError):
+            AbcParameters(beta=0.9)
+
+    def test_rate_change_bounds(self):
+        params = AbcParameters(alpha=2.0)
+        assert params.allows_rate_change(1.0, 2.0)
+        assert params.allows_rate_change(1.0, 0.5)
+        assert not params.allows_rate_change(1.0, 2.5)
+        assert not params.allows_rate_change(1.0, 0.4)
+
+    def test_join_bounds_formula(self):
+        params = AbcParameters(beta=2.0)
+        low, high = params.join_bounds(duration=10.0, rate=1.0)
+        assert low == 5  # floor(10/2)
+        assert high == 20  # ceil(2*10)
+
+    def test_departure_bound(self):
+        params = AbcParameters(beta=1.5)
+        assert params.departure_bound(10.0, 1.0) == 15
+
+    def test_minimum_n0_terms(self):
+        # γ=1: (720·2)^{4/3} ≈ 16262 dominates (matching the paper's
+        # "≈ 6454(γ+1)^{4/3}" remark -- the flat 6000 never binds for
+        # γ > 0 since (720(γ+1))^{4/3} ≥ 720^{4/3} ≈ 6454 > 6000).
+        assert minimum_n0(gamma=1.0, beta=1.0) == int(np.ceil(1440.0 ** (4.0 / 3.0)))
+        assert minimum_n0(gamma=0.01, beta=1.0) >= 6000
+        # Large beta: the (41β)² term dominates.
+        assert minimum_n0(gamma=0.01, beta=3.0) == int(np.ceil((41 * 3) ** 2))
+        with pytest.raises(ValueError):
+            minimum_n0(gamma=0.0, beta=1.0)
+
+
+class TestMeasureAlpha:
+    def test_constant_rate_gives_alpha_one(self, rng):
+        events = smooth_trace(n0=200, epoch_rates=[2.0, 2.0, 2.0], rng=rng)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(200)])
+        assert measure_alpha(epochs) == pytest.approx(1.0, abs=0.15)
+
+    def test_doubling_rate_gives_alpha_two(self, rng):
+        events = smooth_trace(n0=200, epoch_rates=[1.0, 2.0, 4.0], rng=rng)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(200)])
+        measured = measure_alpha(epochs)
+        assert measured == pytest.approx(2.0, rel=0.2)
+
+    def test_decreasing_rate_counts_symmetrically(self, rng):
+        events = smooth_trace(n0=200, epoch_rates=[4.0, 1.0], rng=rng)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(200)])
+        assert measure_alpha(epochs) == pytest.approx(4.0, rel=0.25)
+
+    def test_empty_epochs(self):
+        assert measure_alpha([]) == 1.0
+
+
+class TestMeasureBeta:
+    def test_even_spacing_gives_beta_near_one(self, rng):
+        events = smooth_trace(n0=200, epoch_rates=[2.0], rng=rng, beta=1.0)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(200)])
+        assert measure_beta(events, epochs) <= 1.5
+
+    def test_clumped_events_raise_beta(self, rng):
+        # A long epoch whose joins clump at the start: 20 joins in the
+        # first quarter second, then the 21st (rolling the epoch) at
+        # t=100.  A 5-second window over the clump far exceeds β=1.
+        initial = [f"i{k}" for k in range(40)]
+        events = [GoodJoin(time=1.0 + j * 0.01, ident=f"n{j}") for j in range(20)]
+        events.append(GoodJoin(time=100.0, ident="n20"))
+        epochs = find_epochs(events, initial)
+        assert len(epochs) == 1
+        beta = measure_beta(events, epochs, window_lengths=[5.0])
+        assert beta > 3.0
+
+
+class TestVerifyAndEstimate:
+    def test_smooth_trace_verifies_with_headroom(self, rng):
+        events = smooth_trace(n0=200, epoch_rates=[1.0, 2.0], rng=rng, beta=1.0)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(200)])
+        assert verify_smoothness(events, epochs, alpha=2.5, beta=2.5)
+
+    def test_violation_detected(self, rng):
+        events = smooth_trace(n0=200, epoch_rates=[1.0, 8.0], rng=rng)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(200)])
+        assert not verify_smoothness(events, epochs, alpha=2.0, beta=2.0)
+
+    def test_estimate_shape(self, rng):
+        events = smooth_trace(n0=200, epoch_rates=[1.0, 2.0], rng=rng)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(200)])
+        estimate = estimate_smoothness(events, epochs)
+        assert estimate.alpha >= 1.0
+        assert estimate.beta >= 1.0
+        assert estimate.epochs == len(epochs)
+
+    @given(
+        st.lists(
+            st.sampled_from([1.0, 2.0, 4.0]),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_generated_traces_respect_declared_alpha(self, rates):
+        """Property: a smooth trace built from epoch rates with max
+        consecutive ratio r measures alpha <= r (within epoch-detection
+        slack)."""
+        rng = np.random.default_rng(7)
+        declared = max(
+            max(a / b, b / a) for a, b in zip(rates, rates[1:])
+        )
+        events = smooth_trace(n0=120, epoch_rates=rates, rng=rng, beta=1.0)
+        epochs = find_epochs(events, [f"init-{i}" for i in range(120)])
+        measured = measure_alpha(epochs)
+        assert measured <= declared * 1.6 + 0.2

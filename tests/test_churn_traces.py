@@ -1,0 +1,77 @@
+"""Tests for trace containers, statistics, and CSV round-trips."""
+
+import pytest
+
+from repro.churn.traces import (
+    ChurnScenario,
+    InitialMember,
+    load_trace_csv,
+    save_trace_csv,
+    trace_stats,
+)
+from repro.sim.events import GoodDeparture, GoodJoin
+
+
+def sample_events():
+    return [
+        GoodJoin(time=1.0, ident="a", session=5.0),
+        GoodJoin(time=2.0, ident="b", session=3.0),
+        GoodDeparture(time=4.0, ident="a"),
+    ]
+
+
+class TestTraceStats:
+    def test_counts_and_rates(self):
+        stats = trace_stats(sample_events())
+        assert stats.joins == 2
+        assert stats.departures == 1
+        assert stats.duration == pytest.approx(3.0)
+        assert stats.join_rate == pytest.approx(2.0 / 3.0)
+        assert stats.mean_session == pytest.approx(4.0)
+
+    def test_empty_trace(self):
+        stats = trace_stats([])
+        assert stats.joins == 0
+        assert stats.join_rate == 0.0
+        assert stats.mean_session is None
+
+
+class TestScenario:
+    def test_materialize_allows_replay(self):
+        scenario = ChurnScenario(
+            name="s", initial=[InitialMember("x")], events=iter(sample_events())
+        )
+        scenario.materialize()
+        assert len(list(scenario.replay())) == 3
+        assert len(list(scenario.replay())) == 3  # replayable
+
+    def test_replay_without_materialize_raises(self):
+        scenario = ChurnScenario(name="s", initial=[], events=iter([]))
+        with pytest.raises(TypeError, match="materialize"):
+            scenario.replay()
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        events = sample_events()
+        save_trace_csv(path, events)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == 3
+        assert isinstance(loaded[0], GoodJoin)
+        assert loaded[0].ident == "a"
+        assert loaded[0].session == pytest.approx(5.0)
+        assert isinstance(loaded[2], GoodDeparture)
+        assert loaded[2].time == pytest.approx(4.0)
+
+    def test_join_without_session(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(path, [GoodJoin(time=1.0, ident="a")])
+        loaded = load_trace_csv(path)
+        assert loaded[0].session is None
+
+    def test_unknown_event_type_rejected(self, tmp_path):
+        from repro.sim.events import Tick
+
+        with pytest.raises(TypeError):
+            save_trace_csv(tmp_path / "t.csv", [Tick(time=0.0)])

@@ -1,0 +1,44 @@
+"""Tests for the Bernoulli (scalar-accuracy) classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.bernoulli import BernoulliClassifier
+
+
+def test_accuracy_validated():
+    with pytest.raises(ValueError):
+        BernoulliClassifier(0.0)
+    with pytest.raises(ValueError):
+        BernoulliClassifier(1.5)
+    BernoulliClassifier(1.0)  # perfect classifier allowed
+
+
+def test_bad_admit_probability_complement():
+    assert BernoulliClassifier(0.98).bad_admit_probability == pytest.approx(0.02)
+    assert BernoulliClassifier(0.92).bad_admit_probability == pytest.approx(0.08)
+
+
+def test_good_classification_rate(rng):
+    classifier = BernoulliClassifier(0.9)
+    admitted = sum(classifier.classify_good(rng) for _ in range(10_000))
+    assert admitted == pytest.approx(9_000, rel=0.05)
+
+
+def test_bad_batch_admission_rate(rng):
+    classifier = BernoulliClassifier(0.98)
+    admitted = classifier.admit_bad_batch(100_000, rng)
+    assert admitted == pytest.approx(2_000, rel=0.2)
+
+
+def test_perfect_classifier(rng):
+    classifier = BernoulliClassifier(1.0)
+    assert classifier.classify_good(rng) is True
+    assert classifier.admit_bad_batch(10_000, rng) == 0
+
+
+def test_batch_edge_cases(rng):
+    classifier = BernoulliClassifier(0.9)
+    assert classifier.admit_bad_batch(0, rng) == 0
+    with pytest.raises(ValueError):
+        classifier.admit_bad_batch(-1, rng)

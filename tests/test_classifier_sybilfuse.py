@@ -1,0 +1,104 @@
+"""Tests for the synthetic social graph and the SybilFuse pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.social_graph import synthesize_social_graph, trusted_seeds
+from repro.classifier.sybilfuse import GraphClassifier, run_sybilfuse
+
+
+@pytest.fixture(scope="module")
+def social():
+    rng = np.random.default_rng(7)
+    return synthesize_social_graph(
+        benign_size=600, sybil_size=240, attack_edges=25, rng=rng
+    )
+
+
+@pytest.fixture(scope="module")
+def scores(social):
+    rng = np.random.default_rng(8)
+    return run_sybilfuse(social, rng, seed_count=15)
+
+
+class TestSocialGraph:
+    def test_sizes_and_labels(self, social):
+        assert social.n == 840
+        assert len(social.benign) == 600
+        assert len(social.sybil) == 240
+        labels = social.labels()
+        assert sum(labels.values()) == 600
+
+    def test_attack_edges_connect_regions(self, social):
+        cross = sum(
+            1
+            for u, v in social.graph.edges
+            if (u in social.benign) != (v in social.benign)
+        )
+        assert cross == social.attack_edges
+
+    def test_graph_connected(self, social):
+        import networkx as nx
+
+        assert nx.is_connected(social.graph)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            synthesize_social_graph(2, 100, 5, rng)
+        with pytest.raises(ValueError):
+            synthesize_social_graph(100, 100, 0, rng)
+
+    def test_seeds_are_benign(self, social):
+        rng = np.random.default_rng(1)
+        seeds = trusted_seeds(social, 10, rng)
+        assert len(seeds) == 10
+        assert all(s in social.benign for s in seeds)
+
+    def test_too_many_seeds_rejected(self, social):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            trusted_seeds(social, 10_000, rng)
+
+
+class TestSybilFusePipeline:
+    def test_scores_cover_all_nodes(self, social, scores):
+        assert len(scores.scores) == social.n
+
+    def test_classifier_beats_chance_clearly(self, scores):
+        """The propagation must separate regions far better than coin
+        flips -- the structural gap (few attack edges) makes trust pool
+        in the benign region."""
+        assert scores.accuracy > 0.85
+
+    def test_confusion_rates_are_rates(self, scores):
+        assert 0.0 <= scores.true_positive_rate <= 1.0
+        assert 0.0 <= scores.false_positive_rate <= 1.0
+        assert scores.true_positive_rate > scores.false_positive_rate
+
+    def test_more_attack_edges_degrade_accuracy(self):
+        rng = np.random.default_rng(3)
+        tight = synthesize_social_graph(400, 160, 4, rng=rng)
+        porous = synthesize_social_graph(400, 160, 700, rng=rng)
+        tight_scores = run_sybilfuse(tight, np.random.default_rng(4))
+        porous_scores = run_sybilfuse(porous, np.random.default_rng(4))
+        assert tight_scores.accuracy > porous_scores.accuracy
+
+
+class TestGraphClassifier:
+    def test_interface_matches_measured_rates(self, scores):
+        classifier = GraphClassifier(scores)
+        rng = np.random.default_rng(5)
+        admitted_good = sum(classifier.classify_good(rng) for _ in range(5_000))
+        assert admitted_good / 5_000 == pytest.approx(
+            scores.true_positive_rate, abs=0.03
+        )
+        assert classifier.bad_admit_probability == scores.false_positive_rate
+
+    def test_from_synthetic_end_to_end(self):
+        rng = np.random.default_rng(6)
+        classifier = GraphClassifier.from_synthetic(
+            rng, benign_size=300, sybil_size=120, attack_edges=12
+        )
+        assert classifier.measured_accuracy > 0.8
+        assert 0.0 <= classifier.bad_admit_probability < 0.5

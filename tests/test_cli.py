@@ -1,0 +1,41 @@
+"""Tests for the command-line entry point."""
+
+from repro.__main__ import COMMANDS, main
+
+
+def test_help_exits_zero(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    assert "figure8" in out
+
+
+def test_no_args_prints_help(capsys):
+    assert main([]) == 0
+
+
+def test_unknown_command(capsys):
+    assert main(["bogus"]) == 2
+    assert "unknown command" in capsys.readouterr().out
+
+
+def test_all_experiments_registered():
+    assert set(COMMANDS) == {
+        "figure8",
+        "figure9",
+        "figure10",
+        "lowerbound",
+        "committee",
+        "ablations",
+        "sensitivity",
+    }
+
+
+def test_committee_quick_runs_end_to_end(capsys, tmp_path, monkeypatch):
+    # Redirect results/ so the test cannot clobber full-scale outputs.
+    import repro.experiments.report as report
+
+    monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+    assert main(["committee", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Lemma 18" in out
+    assert (tmp_path / "committee.txt").exists()

@@ -1,0 +1,82 @@
+"""Tests for decentralized Ergo (Theorem 4 / Lemma 18)."""
+
+import pytest
+
+from tests.helpers import run_small_sim
+from repro.adversary.strategies import GreedyJoinAdversary, PurgeSurvivorAdversary
+from repro.committee.decentralized import DecentralizedErgo
+
+
+def test_committee_elected_at_bootstrap():
+    result, defense = run_small_sim(DecentralizedErgo(), horizon=50.0, n0=600)
+    assert len(defense.committee_history) >= 1
+    assert defense.committee_history[0].iteration == 1
+
+
+def test_reelection_every_iteration():
+    result, defense = run_small_sim(
+        DecentralizedErgo(),
+        adversary=GreedyJoinAdversary(rate=2000.0),
+        horizon=150.0,
+        n0=600,
+    )
+    # One election at bootstrap plus one per finished iteration.
+    assert len(defense.committee_history) == defense.iteration_count
+
+
+def test_good_majority_and_lemma18_hold():
+    result, defense = run_small_sim(
+        DecentralizedErgo(),
+        adversary=GreedyJoinAdversary(rate=5000.0),
+        horizon=150.0,
+        n0=600,
+    )
+    assert defense.all_committees_good_majority()
+    assert defense.all_committees_meet_lemma18()
+
+
+def test_committee_size_theta_log_n():
+    import math
+
+    result, defense = run_small_sim(
+        DecentralizedErgo(committee_constant=12.0), horizon=100.0, n0=600
+    )
+    low, high = defense.committee_size_range()
+    expected = 12.0 * math.log(600)
+    assert low >= expected * 0.5
+    assert high <= expected * 2.0
+
+
+def test_survivor_adversary_cannot_take_committee():
+    """Even keeping κN Sybils through purges leaves committees good."""
+    result, defense = run_small_sim(
+        DecentralizedErgo(),
+        adversary=PurgeSurvivorAdversary(rate=20_000.0),
+        horizon=150.0,
+        n0=600,
+    )
+    assert defense.all_committees_good_majority()
+    assert result.max_bad_fraction < 1 / 6
+
+
+def test_spend_guarantee_carries_over():
+    """Theorem 4: decentralization preserves the Theorem 1 spend shape;
+    the decentralized defense costs the same as the server version (the
+    committee machinery adds elections, not RB)."""
+    from repro.core.ergo import Ergo
+
+    central, _ = run_small_sim(
+        Ergo(), adversary=GreedyJoinAdversary(rate=2000.0),
+        horizon=150.0, n0=600, seed=13,
+    )
+    decentralized, _ = run_small_sim(
+        DecentralizedErgo(), adversary=GreedyJoinAdversary(rate=2000.0),
+        horizon=150.0, n0=600, seed=13,
+    )
+    assert decentralized.good_spend == pytest.approx(central.good_spend, rel=0.01)
+
+
+def test_current_committee_requires_election():
+    defense = DecentralizedErgo()
+    with pytest.raises(RuntimeError):
+        _ = defense.current_committee

@@ -1,0 +1,78 @@
+"""Tests for committee election (Section 12.2 / Lemma 18)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.committee.election import (
+    Committee,
+    committee_size,
+    elect_committee,
+    sample_committee_composition,
+)
+
+
+class TestCommittee:
+    def test_composition_must_sum(self):
+        with pytest.raises(ValueError):
+            Committee(size=5, good_members=3, bad_members=3)
+
+    def test_fractions_and_majority(self):
+        committee = Committee(size=8, good_members=7, bad_members=1)
+        assert committee.good_fraction == pytest.approx(7 / 8)
+        assert committee.has_good_majority
+        assert committee.meets_lemma18
+
+    def test_lemma18_threshold_is_seven_eighths(self):
+        assert Committee(size=8, good_members=7, bad_members=1).meets_lemma18
+        assert not Committee(size=8, good_members=6, bad_members=2).meets_lemma18
+
+
+class TestSize:
+    def test_logarithmic(self):
+        assert committee_size(10_000, constant=12.0) == int(12 * math.log(10_000))
+
+    def test_floor_of_three(self):
+        assert committee_size(1, constant=1.0) == 3
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            committee_size(0)
+
+
+class TestSampling:
+    def test_no_bad_population_gives_pure_committee(self, rng):
+        committee = sample_committee_composition(10, good_count=100, bad_count=0, rng=rng)
+        assert committee.bad_members == 0
+
+    def test_hypergeometric_mean(self, rng):
+        """Committee bad fraction tracks the population bad fraction."""
+        draws = [
+            sample_committee_composition(60, good_count=900, bad_count=100, rng=rng)
+            for _ in range(400)
+        ]
+        mean_bad = np.mean([c.bad_members for c in draws])
+        assert mean_bad == pytest.approx(6.0, rel=0.15)
+
+    def test_size_capped_at_population(self, rng):
+        committee = sample_committee_composition(100, good_count=5, bad_count=2, rng=rng)
+        assert committee.size == 7
+
+    def test_lemma18_holds_whp_under_kappa_fraction(self, rng):
+        """With bad fraction 1/18/(1-eps) ~ 6%, essentially all elected
+        committees have >= 7/8 good members."""
+        failures = 0
+        trials = 500
+        for _ in range(trials):
+            committee = elect_committee(
+                good_count=9_400, bad_count=600, rng=rng, constant=12.0
+            )
+            if not committee.meets_lemma18:
+                failures += 1
+        assert failures <= trials * 0.02
+
+    def test_good_majority_virtually_always(self, rng):
+        for _ in range(300):
+            committee = elect_committee(good_count=850, bad_count=150, rng=rng)
+            assert committee.has_good_majority

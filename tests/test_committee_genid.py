@@ -1,0 +1,54 @@
+"""Tests for the GenID bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.committee.genid import run_genid
+
+
+def test_bad_fraction_bounded_by_kappa(rng):
+    result = run_genid([f"g{i}" for i in range(1000)], kappa=1 / 18, rng=rng)
+    # kappa/(1-kappa) bad per good: fraction is exactly kappa-ish.
+    assert result.bad_fraction <= 1 / 18 + 0.01
+    assert result.bad_count == int((1 / 18) / (17 / 18) * 1000)
+
+
+def test_good_ids_all_in_set(rng):
+    ids = [f"g{i}" for i in range(100)]
+    result = run_genid(ids, kappa=1 / 18, rng=rng)
+    assert result.good_ids == ids
+
+
+def test_good_cost_is_one_each(rng):
+    result = run_genid([f"g{i}" for i in range(500)], kappa=1 / 18, rng=rng)
+    assert result.good_cost == 500.0
+
+
+def test_committee_has_good_majority(rng):
+    result = run_genid([f"g{i}" for i in range(5000)], kappa=1 / 18, rng=rng)
+    assert result.committee.has_good_majority
+    assert result.committee.size >= 3
+
+
+def test_committee_size_logarithmic(rng):
+    small = run_genid([f"g{i}" for i in range(100)], kappa=1 / 18, rng=rng)
+    large = run_genid([f"g{i}" for i in range(100_000)], kappa=1 / 18, rng=rng)
+    assert small.committee.size < large.committee.size
+    assert large.committee.size < 12 * 13  # C*log(n) stays modest
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        run_genid([], kappa=1 / 18, rng=rng)
+    with pytest.raises(ValueError):
+        run_genid(["a"], kappa=0.6, rng=rng)
+
+
+def test_partial_adversary(rng):
+    result = run_genid(
+        [f"g{i}" for i in range(1000)],
+        kappa=1 / 18,
+        rng=rng,
+        adversary_joins_fully=False,
+    )
+    assert result.bad_count <= int((1 / 18) / (17 / 18) * 1000)

@@ -1,0 +1,81 @@
+"""Fault-injection tests for the synchronous SMR layer."""
+
+import pytest
+
+from repro.committee.smr import Behaviour, Replica, ReplicatedLog
+
+
+def make_log(good: int, bad: int, behaviour=Behaviour.FLIP) -> ReplicatedLog:
+    replicas = [Replica(ident=f"g{i}") for i in range(good)]
+    replicas += [Replica(ident=f"b{i}", behaviour=behaviour) for i in range(bad)]
+    return ReplicatedLog(replicas)
+
+
+def test_all_honest_commits_everything():
+    log = make_log(good=5, bad=0)
+    for i in range(10):
+        assert log.propose(f"op{i}") == f"op{i}"
+    assert log.committed_log() == [f"op{i}" for i in range(10)]
+    assert log.good_logs_agree()
+
+
+def test_flipping_minority_cannot_corrupt():
+    log = make_log(good=7, bad=3, behaviour=Behaviour.FLIP)
+    committed = []
+    for i in range(20):
+        value = log.propose(f"op{i}")
+        if value is not None:
+            committed.append(value)
+    # Bad leaders' corrupted proposals never reach majority, so either
+    # the honest value commits or the round is skipped; no corrupt value
+    # ever commits.
+    assert all(not v.startswith("corrupt(") for v in committed)
+    assert log.good_logs_agree()
+
+
+def test_equivocating_leader_cannot_split_good_replicas():
+    log = make_log(good=7, bad=3, behaviour=Behaviour.EQUIVOCATE)
+    for i in range(20):
+        log.propose(f"op{i}")
+    assert log.good_logs_agree()
+
+
+def test_silent_leader_skips_round():
+    replicas = [Replica(ident="bad0", behaviour=Behaviour.SILENT)]
+    replicas += [Replica(ident=f"g{i}") for i in range(4)]
+    log = ReplicatedLog(replicas)
+    # Round 1: the silent replica is the leader -> skipped.
+    assert log.propose("op0") is None
+    # Round 2: honest leader -> commits.
+    assert log.propose("op1") == "op1"
+    assert log.committed_log() == ["op1"]
+
+
+def test_good_majority_property():
+    assert make_log(good=3, bad=2).good_majority
+    assert not make_log(good=2, bad=3).good_majority
+
+
+def test_without_good_majority_corruption_possible():
+    """Sanity check on the threat model: SMR needs the majority that
+    committee election provides."""
+    log = make_log(good=1, bad=4, behaviour=Behaviour.FLIP)
+    outcomes = [log.propose(f"op{i}") for i in range(10)]
+    assert any(v is not None and v.startswith("corrupt(") for v in outcomes)
+
+
+def test_empty_committee_rejected():
+    with pytest.raises(ValueError):
+        ReplicatedLog([])
+
+
+def test_total_order_across_good_replicas():
+    log = make_log(good=5, bad=2, behaviour=Behaviour.EQUIVOCATE)
+    for i in range(30):
+        log.propose(f"op{i}")
+    reference = None
+    for replica in log.replicas:
+        if replica.is_good:
+            if reference is None:
+                reference = replica.log
+            assert replica.log == reference

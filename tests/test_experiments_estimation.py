@@ -1,0 +1,78 @@
+"""Tests for the Figure 9 estimation harness."""
+
+import pytest
+
+from tests.helpers import run_small_sim
+from repro.adversary.strategies import PersistentFractionAdversary
+from repro.analysis.bounds import goodjest_envelope
+from repro.experiments.estimation import EstimationHarness
+
+
+def test_records_ratio_per_interval():
+    # Gnutella churns slowly relative to n0: intervals need a few
+    # thousand seconds to complete (symmetric difference of 5/12·|S|).
+    result, harness = run_small_sim(
+        EstimationHarness(), horizon=4000.0, n0=200, network="gnutella"
+    )
+    assert len(harness.ratios) >= 1
+    for sample in harness.ratios:
+        assert sample.true_rate > 0
+        assert sample.ratio > 0
+
+
+def test_ratios_within_theorem2_envelope():
+    """Theorem 2 with our (near-stationary Poisson) traces: the ratio
+    must sit far inside the α=β=1 envelope [1/88, 1867]."""
+    result, harness = run_small_sim(
+        EstimationHarness(), horizon=4000.0, n0=200, network="gnutella"
+    )
+    envelope = goodjest_envelope(alpha=1.0, beta=1.0)
+    for sample in harness.ratios:
+        assert envelope.lower_factor <= sample.ratio <= envelope.upper_factor
+
+
+def test_persistent_bad_fraction_does_not_break_estimation():
+    clean_result, clean = run_small_sim(
+        EstimationHarness(), horizon=4000.0, n0=200, seed=3
+    )
+    dirty_result, dirty = run_small_sim(
+        EstimationHarness(bad_fraction_cap=1 / 6),
+        adversary=PersistentFractionAdversary(fraction=1 / 6),
+        horizon=4000.0,
+        n0=200,
+        seed=3,
+    )
+    assert len(dirty.ratios) >= 1
+    clean_med = sorted(s.ratio for s in clean.ratios)[len(clean.ratios) // 2]
+    dirty_med = sorted(s.ratio for s in dirty.ratios)[len(dirty.ratios) // 2]
+    # Within a factor ~3 of each other (the paper: graceful degradation).
+    assert dirty_med / clean_med < 3.0
+    assert clean_med / dirty_med < 3.0
+
+
+def test_attack_churn_respects_fraction_cap():
+    result, harness = run_small_sim(
+        EstimationHarness(bad_fraction_cap=0.05),
+        adversary=PersistentFractionAdversary(fraction=0.05, spend_rate=1_000.0),
+        horizon=300.0,
+        n0=400,
+        seed=3,
+    )
+    assert harness.population.bad_fraction() <= 0.06
+    assert result.adversary_spend > 0
+
+
+def test_force_bad_join_is_free():
+    result, harness = run_small_sim(
+        EstimationHarness(),
+        adversary=PersistentFractionAdversary(fraction=0.1),
+        horizon=100.0,
+        n0=400,
+    )
+    assert result.adversary_spend == 0.0
+    assert harness.population.bad_count > 0
+
+
+def test_bootstrap_is_free():
+    result, harness = run_small_sim(EstimationHarness(), horizon=50.0, n0=400)
+    assert result.good_spend == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the report rendering and persistence helpers."""
+
+import os
+
+from repro.experiments.report import (
+    render_figure,
+    results_path,
+    rows_to_series,
+    rows_to_table,
+    save_figure,
+)
+from repro.experiments.runner import SweepResult
+
+
+def make_row(defense="ERGO", t=10.0, a=100.0, bad=0.05, network="gnutella"):
+    return SweepResult(
+        network=network,
+        defense=defense,
+        t_rate=t,
+        good_spend_rate=a,
+        adversary_spend_rate=t,
+        max_bad_fraction=bad,
+        final_size=1000,
+    )
+
+
+def test_results_path_creates_directory(tmp_path):
+    path = results_path("x.txt", results_dir=str(tmp_path / "nested"))
+    assert os.path.isdir(os.path.dirname(path))
+
+
+def test_table_contains_rows():
+    text = rows_to_table([make_row(), make_row(defense="CCOM", a=900.0)])
+    assert "ERGO" in text and "CCOM" in text
+    assert "defid_ok" in text
+
+
+def test_series_cutoff_drops_invalid_points():
+    rows = [
+        make_row(t=1.0, a=10.0, bad=0.01),
+        make_row(t=100.0, a=20.0, bad=0.5),  # DefID broken
+    ]
+    series = rows_to_series(rows, "gnutella")
+    assert series["ERGO"] == [(1.0, 10.0)]
+    full = rows_to_series(rows, "gnutella", cutoff_invalid=False)
+    assert len(full["ERGO"]) == 2
+
+
+def test_series_filters_by_network():
+    rows = [make_row(network="gnutella"), make_row(network="bitcoin")]
+    series = rows_to_series(rows, "bitcoin")
+    assert len(series["ERGO"]) == 1
+
+
+def test_render_figure_includes_plot():
+    rows = [make_row(t=t, a=t * 2) for t in (1.0, 10.0, 100.0)]
+    text = render_figure(rows, ["gnutella"], title="demo figure")
+    assert "demo figure" in text
+    assert "o=ERGO" in text
+
+
+def test_save_figure_writes_txt_and_csv(tmp_path):
+    rows = [make_row(t=t, a=t * 2) for t in (1.0, 10.0)]
+    save_figure(rows, ["gnutella"], "unit", "t", results_dir=str(tmp_path))
+    assert (tmp_path / "unit.txt").exists()
+    csv_text = (tmp_path / "unit.csv").read_text()
+    assert "gnutella/ERGO" in csv_text

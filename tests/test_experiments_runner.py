@@ -1,0 +1,86 @@
+"""Tests for the sweep machinery and figure harnesses (quick configs)."""
+
+import pytest
+
+from repro.adversary.strategies import GreedyJoinAdversary, MaintenanceAdversary
+from repro.baselines.remp import Remp
+from repro.churn.datasets import NETWORKS
+from repro.core.ergo import Ergo
+from repro.experiments.config import (
+    Figure8Config,
+    Figure9Config,
+    Figure10Config,
+    LowerBoundConfig,
+    scaled_n0,
+)
+from repro.experiments.runner import adversary_for, run_point, sweep
+
+
+class TestAdversarySelection:
+    def test_recurring_defenses_get_maintenance(self):
+        assert isinstance(adversary_for(Remp(), 10.0), MaintenanceAdversary)
+
+    def test_purge_defenses_get_greedy(self):
+        assert isinstance(adversary_for(Ergo(), 10.0), GreedyJoinAdversary)
+
+    def test_zero_rate_gets_none(self):
+        assert adversary_for(Ergo(), 0.0) is None
+
+
+class TestRunPoint:
+    def test_produces_sweep_result(self):
+        row = run_point(
+            Ergo, NETWORKS["gnutella"], t_rate=100.0,
+            horizon=100.0, seed=1, n0=400,
+        )
+        assert row.network == "gnutella"
+        assert row.defense == "ERGO"
+        assert row.good_spend_rate > 0
+        assert row.adversary_spend_rate == pytest.approx(100.0, rel=0.1)
+        assert row.maintains_defid
+
+    def test_deterministic_given_seed(self):
+        rows = [
+            run_point(Ergo, NETWORKS["gnutella"], 50.0, 100.0, seed=4, n0=400)
+            for _ in range(2)
+        ]
+        assert rows[0].good_spend_rate == rows[1].good_spend_rate
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        rows = sweep(
+            {"ERGO": Ergo},
+            networks=["gnutella"],
+            t_rates=[0.0, 10.0],
+            horizon=60.0,
+            seed=1,
+            n0_scale=0.05,
+        )
+        assert len(rows) == 2
+        assert {r.t_rate for r in rows} == {0.0, 10.0}
+
+
+class TestConfigs:
+    def test_quick_presets_are_smaller(self):
+        assert Figure8Config.quick().horizon < Figure8Config().horizon
+        assert Figure9Config.quick().horizon < Figure9Config().horizon
+        assert Figure10Config.quick().horizon < Figure10Config().horizon
+        assert len(LowerBoundConfig.quick().t_exponents) < len(
+            LowerBoundConfig().t_exponents
+        )
+
+    def test_t_range_covers_2_0_to_2_20(self):
+        config = Figure8Config()
+        assert min(config.t_exponents) == 0
+        assert max(config.t_exponents) == 20
+
+    def test_figure9_fractions(self):
+        config = Figure9Config()
+        assert config.bad_fractions[-1] == pytest.approx(1 / 6)
+        assert config.attack_rates == [0.0, 10_000.0]
+
+    def test_scaled_n0(self):
+        assert scaled_n0(10_000, 1.0) is None
+        assert scaled_n0(10_000, 0.25) == 2500
+        assert scaled_n0(100, 0.01) == 200  # floor

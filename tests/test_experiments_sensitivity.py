@@ -1,0 +1,26 @@
+"""Tests for the seed-sensitivity experiment."""
+
+from repro.experiments.sensitivity import SensitivityConfig, render, run
+
+
+def test_spread_is_small_across_seeds():
+    """The paper's 'error bars are negligible' claim, on our scale."""
+    config = SensitivityConfig(
+        t_rates=[2.0**10], seeds=[1, 2, 3], horizon=300.0, n0_scale=0.1
+    )
+    rows = run(config)
+    assert len(rows) == 2  # ERGO and CCOM at one T
+    for row in rows:
+        assert row.runs == 3
+        assert row.spread < 1.5  # max/min within 50%
+        assert row.rel_std < 0.25
+
+
+def test_render():
+    config = SensitivityConfig(
+        t_rates=[2.0**8], seeds=[1, 2], horizon=200.0, n0_scale=0.1
+    )
+    rows = run(config)
+    text = render(rows)
+    assert "Seed sensitivity" in text
+    assert "ERGO" in text

@@ -1,0 +1,57 @@
+"""Tests for heartbeat-based departure detection."""
+
+import pytest
+
+from repro.identity.heartbeat import HeartbeatMonitor
+
+
+def test_fresh_id_not_expired():
+    monitor = HeartbeatMonitor(timeout=10.0)
+    monitor.register("a", now=0.0)
+    assert monitor.expired(5.0) == []
+
+
+def test_silent_id_expires():
+    monitor = HeartbeatMonitor(timeout=10.0)
+    monitor.register("a", now=0.0)
+    assert monitor.expired(10.5) == ["a"]
+
+
+def test_heartbeat_refreshes():
+    monitor = HeartbeatMonitor(timeout=10.0)
+    monitor.register("a", now=0.0)
+    monitor.beat("a", now=8.0)
+    assert monitor.expired(15.0) == []
+    assert monitor.expired(18.5) == ["a"]
+
+
+def test_beat_from_unknown_id_raises():
+    monitor = HeartbeatMonitor(timeout=10.0)
+    with pytest.raises(KeyError):
+        monitor.beat("ghost", now=1.0)
+
+
+def test_forget_stops_tracking():
+    monitor = HeartbeatMonitor(timeout=1.0)
+    monitor.register("a", now=0.0)
+    monitor.forget("a")
+    assert monitor.expired(100.0) == []
+    assert monitor.tracked == 0
+
+
+def test_forget_unknown_is_noop():
+    HeartbeatMonitor(timeout=1.0).forget("ghost")
+
+
+def test_bad_id_going_silent_is_detected():
+    """Bad IDs that stop heartbeating count as departed (Section 2.1.1)."""
+    monitor = HeartbeatMonitor(timeout=5.0)
+    monitor.register("good", now=0.0)
+    monitor.register("sybil", now=0.0)
+    monitor.beat("good", now=4.0)
+    assert monitor.expired(6.0) == ["sybil"]
+
+
+def test_invalid_timeout_rejected():
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(timeout=0.0)

@@ -1,0 +1,157 @@
+"""Tests for the membership set and symmetric-difference tracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.identity.membership import MembershipSet, SymmetricDifferenceTracker
+
+
+def make_set(*idents, good=True):
+    membership = MembershipSet()
+    for i, ident in enumerate(idents):
+        membership.add(ident, is_good=good, now=float(i))
+    return membership
+
+
+class TestMembershipBasics:
+    def test_add_and_contains(self):
+        membership = make_set("a", "b")
+        assert "a" in membership
+        assert "c" not in membership
+        assert membership.size == 2
+
+    def test_duplicate_add_rejected(self):
+        membership = make_set("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            membership.add("a", is_good=True, now=1.0)
+
+    def test_remove_returns_member(self):
+        membership = make_set("a")
+        member = membership.remove("a")
+        assert member.ident == "a"
+        assert membership.size == 0
+
+    def test_remove_missing_returns_none(self):
+        assert make_set().remove("ghost") is None
+
+    def test_good_bad_counts(self):
+        membership = MembershipSet()
+        membership.add("g1", is_good=True, now=0.0)
+        membership.add("b1", is_good=False, now=0.0)
+        membership.add("b2", is_good=False, now=0.0)
+        assert membership.good_count == 1
+        assert membership.bad_count == 2
+        assert membership.bad_fraction() == pytest.approx(2 / 3)
+
+    def test_bad_fraction_empty_is_zero(self):
+        assert MembershipSet().bad_fraction() == 0.0
+
+    def test_id_lists(self):
+        membership = MembershipSet()
+        membership.add("g1", is_good=True, now=0.0)
+        membership.add("b1", is_good=False, now=0.0)
+        assert membership.good_ids() == ["g1"]
+        assert membership.bad_ids() == ["b1"]
+        assert sorted(membership.all_ids()) == ["b1", "g1"]
+
+
+class TestRandomGood:
+    def test_empty_returns_none(self):
+        rng = np.random.default_rng(0)
+        assert MembershipSet().random_good(rng) is None
+
+    def test_returns_only_good(self):
+        rng = np.random.default_rng(0)
+        membership = MembershipSet()
+        membership.add("g1", is_good=True, now=0.0)
+        membership.add("b1", is_good=False, now=0.0)
+        picks = {membership.random_good(rng) for _ in range(50)}
+        assert picks == {"g1"}
+
+    def test_selection_is_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        membership = make_set(*[f"g{i}" for i in range(4)])
+        counts = {f"g{i}": 0 for i in range(4)}
+        for _ in range(4000):
+            counts[membership.random_good(rng)] += 1
+        for count in counts.values():
+            assert 800 < count < 1200  # expected 1000 each
+
+    def test_swap_remove_keeps_selection_valid(self):
+        rng = np.random.default_rng(0)
+        membership = make_set("a", "b", "c", "d")
+        membership.remove("b")
+        picks = {membership.random_good(rng) for _ in range(100)}
+        assert picks <= {"a", "c", "d"}
+
+
+class TestSymmetricDifferenceTracker:
+    def test_join_then_depart_cancels(self):
+        """The Section 8.1 subtlety: quick join+depart moves nothing."""
+        membership = make_set("old1", "old2")
+        membership.attach_tracker("t", SymmetricDifferenceTracker())
+        membership.add("new", is_good=True, now=1.0)
+        assert membership.sym_diff("t") == 1
+        membership.remove("new")
+        assert membership.sym_diff("t") == 0
+
+    def test_departure_of_snapshot_member_counts(self):
+        membership = make_set("old1", "old2")
+        membership.attach_tracker("t", SymmetricDifferenceTracker())
+        membership.remove("old1")
+        assert membership.sym_diff("t") == 1
+
+    def test_replacement_counts_twice(self):
+        membership = make_set("old1", "old2")
+        membership.attach_tracker("t", SymmetricDifferenceTracker())
+        membership.add("new", is_good=True, now=1.0)
+        membership.remove("old1")
+        assert membership.sym_diff("t") == 2
+
+    def test_reset_zeroes_the_difference(self):
+        membership = make_set("a", "b")
+        membership.attach_tracker("t", SymmetricDifferenceTracker())
+        membership.add("c", is_good=True, now=1.0)
+        membership.remove("a")
+        membership.reset_tracker("t")
+        assert membership.sym_diff("t") == 0
+        membership.remove("c")  # c is now a snapshot member
+        assert membership.sym_diff("t") == 1
+
+    def test_multiple_trackers_are_independent(self):
+        membership = make_set("a")
+        membership.attach_tracker("t1", SymmetricDifferenceTracker())
+        membership.add("b", is_good=True, now=1.0)
+        membership.attach_tracker("t2", SymmetricDifferenceTracker())
+        membership.add("c", is_good=True, now=2.0)
+        assert membership.sym_diff("t1") == 2
+        assert membership.sym_diff("t2") == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force_set_computation(self, ops):
+        """Property: O(1) watermark tracking == set-based |A △ B|.
+
+        op 0 = join a fresh ID; op 1 = remove the oldest present ID;
+        op 2 = remove the newest present ID.
+        """
+        membership = MembershipSet()
+        for i in range(5):
+            membership.add(f"init{i}", is_good=True, now=0.0)
+        membership.attach_tracker("t", SymmetricDifferenceTracker())
+        snapshot = set(membership.all_ids())
+        present = list(membership.all_ids())
+        counter = 0
+        for op in ops:
+            if op == 0:
+                counter += 1
+                ident = f"x{counter}"
+                membership.add(ident, is_good=True, now=float(counter))
+                present.append(ident)
+            elif present:
+                ident = present.pop(0) if op == 1 else present.pop()
+                membership.remove(ident)
+            expected = len(set(present) ^ snapshot)
+            assert membership.sym_diff("t") == expected

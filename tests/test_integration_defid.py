@@ -1,0 +1,115 @@
+"""Integration: every defense × every adversary, invariants end to end.
+
+The DefID matrix is the repository's core correctness statement: for
+every defense that claims the 1/6 bound, no implemented adversary
+strategy may break it; for defenses that don't (SybilControl under
+overload), the harness must *detect* the violation.
+"""
+
+import pytest
+
+from tests.helpers import run_small_sim
+from repro.adversary.strategies import (
+    BurstyJoinAdversary,
+    GreedyJoinAdversary,
+    LowerBoundAdversary,
+    PurgeSurvivorAdversary,
+)
+from repro.baselines.ccom import CCom
+from repro.baselines.remp import Remp
+from repro.baselines.sybilcontrol import SybilControl
+from repro.committee.decentralized import DecentralizedErgo
+from repro.core.ergo import Ergo, ErgoConfig
+from repro.core.heuristics import ergo_ch1, ergo_ch2, ergo_sf
+
+GUARANTEED_DEFENSES = {
+    "ergo": lambda: Ergo(ErgoConfig(paranoid=True)),
+    "ergo-ch1": lambda: ergo_ch1(paranoid=True),
+    "ergo-ch2": lambda: ergo_ch2(paranoid=True),
+    "ergo-sf98": lambda: ergo_sf(0.98, paranoid=True),
+    "ccom": lambda: CCom(ErgoConfig(paranoid=True)),
+    "decentralized": lambda: DecentralizedErgo(ErgoConfig(paranoid=True)),
+}
+
+ADVERSARIES = {
+    "greedy": lambda: GreedyJoinAdversary(rate=8_000.0),
+    "bursty": lambda: BurstyJoinAdversary(rate=8_000.0, burst_period=15.0),
+    "survivor": lambda: PurgeSurvivorAdversary(rate=8_000.0),
+    "lower-bound": lambda: LowerBoundAdversary(rate=8_000.0),
+}
+
+
+@pytest.mark.parametrize("defense_name", sorted(GUARANTEED_DEFENSES))
+@pytest.mark.parametrize("adversary_name", sorted(ADVERSARIES))
+def test_defid_matrix(defense_name, adversary_name):
+    result, defense = run_small_sim(
+        GUARANTEED_DEFENSES[defense_name](),
+        adversary=ADVERSARIES[adversary_name](),
+        horizon=120.0,
+        n0=600,
+        seed=17,
+    )
+    assert result.max_bad_fraction < 1 / 6, (
+        f"{defense_name} vs {adversary_name}: {result.max_bad_fraction}"
+    )
+    # Accounting sanity: totals are positive, categories sum to total.
+    by_cat = result.metrics.good.by_category()
+    assert sum(by_cat.values()) == pytest.approx(result.good_spend)
+
+
+@pytest.mark.parametrize("network", ["bitcoin", "bittorrent", "gnutella", "ethereum"])
+def test_ergo_on_every_network(network):
+    result, defense = run_small_sim(
+        Ergo(ErgoConfig(paranoid=True)),
+        adversary=GreedyJoinAdversary(rate=4_000.0),
+        network=network,
+        horizon=120.0,
+        n0=600,
+    )
+    assert result.max_bad_fraction < 1 / 6
+    assert result.good_spend_rate > 0
+
+
+def test_remp_and_sybilcontrol_report_honestly():
+    """Baselines without the guarantee must have violations *visible*."""
+    from repro.adversary.strategies import MaintenanceAdversary
+
+    sc_result, _ = run_small_sim(
+        SybilControl(),
+        adversary=MaintenanceAdversary(rate=5_000.0),
+        horizon=60.0,
+        n0=600,
+    )
+    assert sc_result.max_bad_fraction >= 1 / 6  # detected, not hidden
+    remp_result, _ = run_small_sim(
+        Remp(t_max=1e6),
+        adversary=MaintenanceAdversary(rate=5_000.0),
+        horizon=60.0,
+        n0=600,
+    )
+    assert remp_result.max_bad_fraction < 1 / 6  # provisioned for T_max
+
+
+def test_adversary_books_balance():
+    """Every unit the adversary meter records was spent from its budget."""
+    adversary = GreedyJoinAdversary(rate=2_000.0)
+    result, _ = run_small_sim(
+        Ergo(), adversary=adversary, horizon=100.0, n0=600
+    )
+    assert adversary.budget.spent == pytest.approx(result.adversary_spend)
+
+
+def test_deterministic_end_to_end():
+    runs = []
+    for _ in range(2):
+        result, defense = run_small_sim(
+            Ergo(),
+            adversary=GreedyJoinAdversary(rate=3_000.0),
+            horizon=100.0,
+            n0=600,
+            seed=99,
+        )
+        runs.append(
+            (result.good_spend, result.adversary_spend, defense.purge_count)
+        )
+    assert runs[0] == runs[1]

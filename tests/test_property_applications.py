@@ -1,0 +1,73 @@
+"""Property-based tests for the DHT and DDoS applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.ddos import PricedJobQueue
+from repro.applications.dht import ChordRing, ring_hash
+
+
+@given(st.integers(min_value=8, max_value=120), st.integers(min_value=0, max_value=40))
+@settings(max_examples=25, deadline=None)
+def test_every_key_has_exactly_one_owner(n, key_seed):
+    """Ownership partitions the key space: the owner is the unique node
+    minimizing clockwise distance from the key point."""
+    ring = ChordRing()
+    for i in range(n):
+        ring.join(f"node{i}")
+    key = f"key-{key_seed}"
+    owner = ring.owner_of(key)
+    point = ring_hash(key)
+    owner_distance = (ring.node(owner).position - point) % (2**64)
+    for node in ring.nodes():
+        distance = (node.position - point) % (2**64)
+        assert distance >= owner_distance
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=5, max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_routing_always_terminates_at_owner(key_seeds):
+    ring = ChordRing()
+    for i in range(64):
+        ring.join(f"node{i}")
+    ring.build_fingers()
+    for seed in key_seeds:
+        key = f"key-{seed}"
+        path = ring.route("node0", key)
+        assert path[-1] == ring.owner_of(key)
+        # No cycles.
+        assert len(path) == len(set(path))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=5.0),  # inter-arrival gap
+            st.floats(min_value=0.0, max_value=500.0),  # attack budget
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_ddos_accounting_invariants(timeline):
+    """Served counts and costs stay consistent for any traffic mix."""
+    queue = PricedJobQueue(capacity_per_second=20.0, initial_rate=1.0)
+    now = 0.0
+    good_submitted = 0
+    attack_cost_total = 0.0
+    for gap, budget in timeline:
+        now += gap
+        jobs, cost = queue.submit_attack_burst(now, budget)
+        assert cost <= budget + 1e-9
+        attack_cost_total += cost
+        queue.submit_good(now)
+        good_submitted += 1
+    stats = queue.stats
+    assert stats.served_good + stats.dropped_good == good_submitted
+    assert stats.attacker_cost == pytest.approx(attack_cost_total)
+    assert stats.good_cost >= good_submitted  # everyone pays >= 1
+    # Quotes never go below the base price.
+    assert queue.quote(now + 1e6) == 1.0

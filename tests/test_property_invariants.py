@@ -1,0 +1,135 @@
+"""Property-based whole-protocol invariants (hypothesis drives Ergo).
+
+Random event programs are thrown at a live Ergo instance and the core
+invariants are checked after every operation:
+
+* the bad fraction never reaches 3κ (Lemma 9),
+* population counts never go negative and always sum,
+* the iteration event counter resets at purges,
+* GoodJEst's estimate is always positive and finite.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import Adversary
+from repro.churn.traces import InitialMember
+from repro.core.ergo import Ergo, ErgoConfig
+from repro.sim.engine import Simulation, SimulationConfig
+
+
+class ScriptedAdversary(Adversary):
+    """Applies no autonomous behaviour; the test drives the defense."""
+
+    name = "scripted"
+
+    def act(self, now: float) -> None:
+        return None
+
+    def respond_to_purge(self, bad_count: int, max_keep: int, now: float) -> int:
+        # Worst case for the fraction bound: keep the maximum allowed.
+        return max_keep
+
+
+operation = st.one_of(
+    st.tuples(st.just("good_join"), st.just(0)),
+    st.tuples(st.just("good_depart"), st.just(0)),
+    st.tuples(st.just("bad_flood"), st.integers(min_value=1, max_value=400)),
+    st.tuples(st.just("bad_depart"), st.just(0)),
+    st.tuples(st.just("advance"), st.integers(min_value=1, max_value=10)),
+)
+
+
+@given(st.lists(operation, min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_ergo_invariants_under_random_programs(program):
+    n0 = 66
+    defense = Ergo(ErgoConfig(paranoid=True))
+    sim = Simulation(
+        SimulationConfig(horizon=1.0, tick_interval=0.0),
+        defense,
+        [],
+        adversary=ScriptedAdversary(),
+        initial_members=[InitialMember(ident=f"i{k}") for k in range(n0)],
+    )
+    sim.run()
+    time = 1.0
+    for op, arg in program:
+        if op == "good_join":
+            defense.process_good_join()
+        elif op == "good_depart":
+            defense.process_good_departure(None)
+        elif op == "bad_flood":
+            attempted, cost = defense.process_bad_join_batch(budget=float(arg))
+            assert cost <= arg + 1e-9
+        elif op == "bad_depart":
+            defense.process_bad_departure()
+        elif op == "advance":
+            time += arg
+            sim.clock.advance_to(time)
+        # -- invariants after every operation --
+        population = defense.population
+        assert population.good_count >= 0
+        assert population.bad_count >= 0
+        assert population.size == population.good_count + population.bad_count
+        # paranoid mode asserts the DefID bound at purges; check the
+        # peak tracker between purges too:
+        assert defense.peak_bad_fraction < 3 * defense.config.kappa + 1e-9
+        estimate = defense.goodjest.estimate
+        assert estimate > 0
+        assert math.isfinite(estimate)
+        assert defense._event_counter < defense._iter_threshold
+
+
+@given(st.lists(operation, min_size=1, max_size=50))
+@settings(max_examples=30, deadline=None)
+def test_symdiff_trigger_variant_same_invariants(program):
+    defense = Ergo(
+        ErgoConfig(paranoid=True, purge_trigger="symdiff", align_estimate_with_purge=True)
+    )
+    sim = Simulation(
+        SimulationConfig(horizon=1.0, tick_interval=0.0),
+        defense,
+        [],
+        adversary=ScriptedAdversary(),
+        initial_members=[InitialMember(ident=f"i{k}") for k in range(66)],
+    )
+    sim.run()
+    time = 1.0
+    for op, arg in program:
+        if op == "good_join":
+            defense.process_good_join()
+        elif op == "good_depart":
+            defense.process_good_departure(None)
+        elif op == "bad_flood":
+            defense.process_bad_join_batch(budget=float(arg))
+        elif op == "bad_depart":
+            defense.process_bad_departure()
+        elif op == "advance":
+            time += arg
+            sim.clock.advance_to(time)
+        assert defense.peak_bad_fraction < 3 * defense.config.kappa + 1e-9
+
+
+@given(
+    st.integers(min_value=100, max_value=2000),
+    st.floats(min_value=1.0, max_value=1e6),
+)
+@settings(max_examples=40, deadline=None)
+def test_flood_cost_always_within_budget(n0, budget):
+    """For any population size and budget, a flood never overcharges."""
+    defense = Ergo()
+    sim = Simulation(
+        SimulationConfig(horizon=1.0, tick_interval=0.0),
+        defense,
+        [],
+        initial_members=[InitialMember(ident=f"i{k}") for k in range(n0)],
+    )
+    sim.run()
+    attempted, cost = defense.process_bad_join_batch(budget=budget)
+    assert cost <= budget + 1e-6
+    assert attempted >= 0
+    if budget >= 1.0:
+        assert attempted >= 1

@@ -1,0 +1,71 @@
+"""Tests for the k-hard challenge accounting model."""
+
+import pytest
+
+from repro.rb.challenges import ChallengeAuthority, Solution
+
+
+@pytest.fixture
+def authority():
+    return ChallengeAuthority()
+
+
+def test_issue_and_solve_roundtrip(authority):
+    challenge = authority.issue("alice", hardness=3, now=10.0)
+    solution = authority.solve(challenge)
+    assert solution.solved_at == pytest.approx(13.0)  # 3 rounds of work
+    assert authority.verify(solution)
+
+
+def test_solution_consumed_on_verify(authority):
+    """No replay: a solution can only be redeemed once."""
+    challenge = authority.issue("alice", hardness=1, now=0.0)
+    solution = authority.solve(challenge)
+    assert authority.verify(solution)
+    assert not authority.verify(solution)
+
+
+def test_stolen_solution_rejected(authority):
+    """Solutions cannot be stolen (Section 2)."""
+    challenge = authority.issue("alice", hardness=1, now=0.0)
+    solution = authority.solve(challenge)
+    stolen = Solution(
+        challenge_id=solution.challenge_id, solver="mallory", solved_at=solution.solved_at
+    )
+    assert not authority.verify(stolen)
+
+
+def test_precomputed_solution_rejected(authority):
+    """A solution can't arrive before the work could have been done."""
+    challenge = authority.issue("alice", hardness=5, now=0.0)
+    early = Solution(
+        challenge_id=challenge.challenge_id, solver="alice", solved_at=2.0
+    )
+    assert not authority.verify(early)
+
+
+def test_unknown_challenge_rejected(authority):
+    assert not authority.verify(Solution(challenge_id=999, solver="a", solved_at=1.0))
+
+
+def test_deadline_enforced(authority):
+    """Purge challenges must be answered within 1 round (Figure 4)."""
+    challenge = authority.issue("alice", hardness=1, now=0.0)
+    solution = authority.solve(challenge)
+    assert not authority.verify(solution, deadline=0.5)
+    challenge2 = authority.issue("alice", hardness=1, now=0.0)
+    solution2 = authority.solve(challenge2)
+    assert authority.verify(solution2, deadline=1.0)
+
+
+def test_hardness_must_be_positive(authority):
+    with pytest.raises(ValueError):
+        authority.issue("alice", hardness=0, now=0.0)
+
+
+def test_outstanding_count(authority):
+    authority.issue("a", 1, 0.0)
+    challenge = authority.issue("b", 1, 0.0)
+    assert authority.outstanding == 2
+    authority.verify(authority.solve(challenge))
+    assert authority.outstanding == 1

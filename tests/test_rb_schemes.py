@@ -1,0 +1,83 @@
+"""Tests for the alternative resource-burning schemes."""
+
+import numpy as np
+import pytest
+
+from repro.rb.schemes import (
+    CaptchaScheme,
+    ComputationScheme,
+    ProofOfSpaceTime,
+    RadioResourceScheme,
+)
+
+
+class TestComputation:
+    def test_cost_equals_hardness(self, rng):
+        receipt = ComputationScheme().burn("a", 5, rng)
+        assert receipt.cost == 5.0
+        assert receipt.elapsed == 5.0
+        assert receipt.resource == "computation"
+
+    def test_faster_hardware_same_cost_less_time(self, rng):
+        slow = ComputationScheme(speed=1.0).burn("a", 4, rng)
+        fast = ComputationScheme(speed=4.0).burn("a", 4, rng)
+        assert slow.cost == fast.cost
+        assert fast.elapsed == slow.elapsed / 4
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ComputationScheme(speed=0.0)
+        with pytest.raises(ValueError):
+            ComputationScheme().burn("a", 0, rng)
+
+
+class TestSpaceTime:
+    def test_cost_is_storage_times_duration(self, rng):
+        scheme = ProofOfSpaceTime(round_duration=2.0)
+        receipt = scheme.burn("a", 6, rng)
+        assert receipt.cost == pytest.approx(6.0)
+        assert receipt.elapsed == 2.0
+        assert scheme.storage_required(6) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProofOfSpaceTime(round_duration=0.0)
+        with pytest.raises(ValueError):
+            ProofOfSpaceTime().storage_required(0)
+
+
+class TestCaptcha:
+    def test_cost_counts_puzzles(self, rng):
+        receipt = CaptchaScheme().burn("human", 3, rng)
+        assert receipt.cost == 3.0
+        assert receipt.elapsed > 0
+
+    def test_solve_times_scale_with_hardness(self, rng):
+        scheme = CaptchaScheme(median_solve_time=10.0)
+        short = np.mean([scheme.burn("h", 1, rng).elapsed for _ in range(300)])
+        long = np.mean([scheme.burn("h", 5, rng).elapsed for _ in range(300)])
+        assert long == pytest.approx(5 * short, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaptchaScheme(median_solve_time=0.0)
+
+
+class TestRadio:
+    def test_burn_within_channels(self, rng):
+        scheme = RadioResourceScheme(channels=8)
+        receipt = scheme.burn("node", 8, rng)
+        assert receipt.cost == 8.0
+
+    def test_hardness_capped_by_channels(self, rng):
+        scheme = RadioResourceScheme(channels=4)
+        with pytest.raises(ValueError, match="channels"):
+            scheme.burn("node", 5, rng)
+
+    def test_kappa_has_physical_origin(self):
+        """An adversary with r radios on c channels burns ≤ r·c per
+        round -- the κ-fraction bound made physical."""
+        scheme = RadioResourceScheme(channels=10)
+        assert scheme.adversary_capacity_per_round(3) == 30
+        with pytest.raises(ValueError):
+            scheme.adversary_capacity_per_round(-1)

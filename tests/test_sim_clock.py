@@ -1,0 +1,50 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import ROUND_SECONDS, Clock
+
+
+def test_starts_at_zero_by_default():
+    assert Clock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert Clock(start=5.5).now == 5.5
+
+
+def test_advance_to_moves_forward():
+    clock = Clock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = Clock(start=2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_to_backwards_raises():
+    clock = Clock(start=10.0)
+    with pytest.raises(ValueError, match="backwards"):
+        clock.advance_to(9.0)
+
+
+def test_advance_by_accumulates():
+    clock = Clock()
+    clock.advance_by(1.5)
+    clock.advance_by(2.5)
+    assert clock.now == 4.0
+
+
+def test_advance_by_negative_raises():
+    clock = Clock()
+    with pytest.raises(ValueError, match="negative"):
+        clock.advance_by(-0.1)
+
+
+def test_round_is_one_second():
+    # The paper's cost model equates a 1-hard challenge with one round;
+    # the reproduction pins that to one second (see module docstring).
+    assert ROUND_SECONDS == 1.0

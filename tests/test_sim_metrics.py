@@ -1,0 +1,181 @@
+"""Tests for counters, time series, spend meters, and the join window."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    Counter,
+    MetricSet,
+    SlidingWindowCounter,
+    SpendMeter,
+    TimeSeries,
+)
+
+
+class TestCounter:
+    def test_defaults_to_zero(self):
+        assert Counter().get("missing") == 0
+
+    def test_add_accumulates(self):
+        counter = Counter()
+        counter.add("joins")
+        counter.add("joins", 4)
+        assert counter.get("joins") == 5
+
+    def test_as_dict_is_a_copy(self):
+        counter = Counter()
+        counter.add("x")
+        snapshot = counter.as_dict()
+        snapshot["x"] = 99
+        assert counter.get("x") == 1
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)
+        assert series.times == [0.0, 2.0]
+        assert series.values == [1.0, 3.0]
+        assert len(series) == 2
+
+    def test_rejects_out_of_order(self):
+        series = TimeSeries("s")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError, match="time order"):
+            series.record(4.0, 1.0)
+
+    def test_min_max_last(self):
+        series = TimeSeries("s")
+        for t, v in [(0, 5.0), (1, 2.0), (2, 9.0)]:
+            series.record(t, v)
+        assert series.max() == 9.0
+        assert series.min() == 2.0
+        assert series.last() == 9.0
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(ValueError, match="empty"):
+            TimeSeries("s").max()
+
+    def test_value_at_is_step_function(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(99.0) == 2.0
+
+    def test_value_at_before_first_sample_raises(self):
+        series = TimeSeries("s")
+        series.record(1.0, 1.0)
+        with pytest.raises(ValueError):
+            series.value_at(0.5)
+
+
+class TestSpendMeter:
+    def test_accumulates_by_category(self):
+        meter = SpendMeter("good")
+        meter.charge(3.0, "entrance")
+        meter.charge(2.0, "purge")
+        meter.charge(1.0, "entrance")
+        assert meter.total == 6.0
+        assert meter.by_category() == {"entrance": 4.0, "purge": 2.0}
+
+    def test_rate(self):
+        meter = SpendMeter("good")
+        meter.charge(100.0, "x")
+        assert meter.rate(50.0) == 2.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SpendMeter("m").charge(-1.0, "x")
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SpendMeter("m").rate(0.0)
+
+
+class TestSlidingWindowCounter:
+    def test_counts_recent_events(self):
+        window = SlidingWindowCounter(width=10.0)
+        window.record(1.0)
+        window.record(5.0)
+        assert window.count(6.0) == 2
+
+    def test_old_events_age_out(self):
+        window = SlidingWindowCounter(width=10.0)
+        window.record(1.0)
+        window.record(5.0)
+        assert window.count(11.5) == 1  # the t=1 event has aged out
+        assert window.count(20.0) == 0
+
+    def test_event_exactly_at_cutoff_excluded(self):
+        window = SlidingWindowCounter(width=10.0)
+        window.record(0.0)
+        assert window.count(10.0) == 0  # window is (now-width, now]
+
+    def test_batch_record(self):
+        window = SlidingWindowCounter(width=5.0)
+        window.record(1.0, count=100)
+        window.record(2.0, count=50)
+        assert window.count(3.0) == 150
+        assert window.count(6.5) == 50
+
+    def test_clear_sets_floor(self):
+        window = SlidingWindowCounter(width=100.0)
+        window.record(1.0)
+        window.clear(5.0)
+        assert window.count(6.0) == 0
+        window.record(5.0)  # same instant as the clear still counts
+        assert window.count(6.0) == 1
+
+    def test_record_before_floor_raises(self):
+        window = SlidingWindowCounter(width=10.0)
+        window.clear(5.0)
+        with pytest.raises(ValueError, match="floor"):
+            window.record(4.0)
+
+    def test_width_change(self):
+        window = SlidingWindowCounter(width=10.0)
+        window.record(1.0)
+        window.set_width(2.0)
+        assert window.count(5.0) == 0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(width=0.0)
+        window = SlidingWindowCounter(width=1.0)
+        with pytest.raises(ValueError):
+            window.set_width(-2.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.integers(min_value=1, max_value=20),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.5, max_value=30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, raw_events, width):
+        """Property: the batched deque equals a naive recount."""
+        events = sorted(raw_events, key=lambda pair: pair[0])
+        window = SlidingWindowCounter(width=width)
+        for time, count in events:
+            window.record(time, count)
+        now = events[-1][0]
+        expected = sum(c for t, c in events if now - width < t <= now)
+        assert window.count(now) == expected
+
+
+class TestMetricSet:
+    def test_rates(self):
+        metrics = MetricSet()
+        metrics.good.charge(10.0, "x")
+        metrics.adversary.charge(40.0, "x")
+        assert metrics.good_spend_rate(10.0) == 1.0
+        assert metrics.adversary_spend_rate(10.0) == 4.0
