@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench-quick
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The CI smoke run: quick Figure 8 sweep through the parallel executor.
+smoke:
+	$(PYTHON) -m repro figure8 --quick --jobs 2
+
+# Dump the perf trajectory snapshot (engine events/sec + sweep wall time).
+bench-quick:
+	$(PYTHON) benchmarks/bench_sweep.py --quick --jobs 2 --json BENCH_micro.json

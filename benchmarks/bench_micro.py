@@ -8,14 +8,16 @@ cohort arithmetic, event-queue throughput, entrance-cost quoting, and
 
 import numpy as np
 
+from repro.adversary.strategies import GreedyJoinAdversary
 from repro.churn.traces import InitialMember
 from repro.core.ergo import Ergo
 from repro.core.population import AggregateBadPopulation
 from repro.identity.membership import MembershipSet, SymmetricDifferenceTracker
 from repro.rb.pow import PowChallenge, solve_pow, verify_pow
 from repro.sim.engine import EventQueue, Simulation, SimulationConfig
-from repro.sim.events import Tick
+from repro.sim.events import GoodJoin, Tick
 from repro.sim.metrics import SlidingWindowCounter
+from repro.sim.null_defense import NullDefense
 
 
 def bench_membership_churn(benchmark):
@@ -69,6 +71,36 @@ def bench_sliding_window(benchmark):
 
     final = benchmark(run)
     assert final == 150  # 50 batches of 3 inside a 5s window
+
+
+def bench_engine_event_loop(benchmark):
+    """The full per-event loop: heap, dispatch, adversary wake-ups, churn.
+
+    Uses a pass-through defense so the measured cost is the engine's own
+    (the number here is the one ``benchmarks/bench_sweep.py`` converts
+    to events/sec for the perf trajectory in ``BENCH_micro.json``).
+    """
+    n_joins, horizon = 10_000, 2_500.0
+    step = horizon / n_joins
+    events = [
+        GoodJoin(time=(i + 1) * step, ident=f"g{i}", session=50.0 * step)
+        for i in range(n_joins)
+    ]
+
+    def run():
+        sim = Simulation(
+            SimulationConfig(horizon=horizon, tick_interval=1.0, seed=1),
+            NullDefense(),
+            events,
+            adversary=GreedyJoinAdversary(rate=0.5),
+        )
+        return sim.run()
+
+    result = benchmark(run)
+    # joins + departures + ticks all flowed through the queue ...
+    assert result.counters["queue_pops"] > n_joins + horizon / 1.0
+    # ... but the lazy tick kept the heap shallow (no pre-scheduled bulk).
+    assert result.counters["queue_max_size"] < 100
 
 
 def bench_event_queue(benchmark):

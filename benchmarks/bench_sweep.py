@@ -1,0 +1,119 @@
+"""Sweep executor benchmark: serial vs parallel wall time + engine throughput.
+
+Two measurements:
+
+1. **Engine event throughput** -- a fixed synthetic workload (joins with
+   sessions, one recurring tick, a budget-limited greedy adversary)
+   against :class:`repro.sim.null_defense.NullDefense`, so the number is
+   dominated by the engine loop itself rather than defense bookkeeping.
+2. **Sweep wall time** -- the quick Figure 8 sweep run serially
+   (``jobs=1``) and through the :mod:`repro.experiments.parallel`
+   process pool, with a row-for-row equality check between the two.
+
+Run (writes ``BENCH_micro.json`` when ``--json`` is given)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick --jobs 4 --json BENCH_micro.json
+
+or simply ``make bench-quick``.  The JSON is a flat dict so future PRs
+can diff perf trajectories across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import List
+
+from repro.adversary.strategies import GreedyJoinAdversary
+from repro.experiments import figure8
+from repro.experiments.config import Figure8Config
+from repro.experiments.parallel import parse_jobs
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.events import GoodJoin
+from repro.sim.null_defense import NullDefense
+
+
+def churn_events(n_joins: int, horizon: float) -> List[GoodJoin]:
+    """A deterministic join trace with sessions ~50 inter-arrival times."""
+    step = horizon / n_joins
+    session = 50.0 * step
+    return [
+        GoodJoin(time=(i + 1) * step, ident=f"g{i}", session=session)
+        for i in range(n_joins)
+    ]
+
+
+def engine_throughput(n_joins: int = 20_000, horizon: float = 5_000.0,
+                      repeats: int = 3) -> dict:
+    """Best-of-N events/sec for the engine-loop workload."""
+    best_eps = 0.0
+    events = 0
+    for _ in range(repeats):
+        sim = Simulation(
+            SimulationConfig(horizon=horizon, tick_interval=1.0, seed=1),
+            NullDefense(),
+            churn_events(n_joins, horizon),
+            adversary=GreedyJoinAdversary(rate=0.5),
+        )
+        start = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+        events = result.counters["queue_pops"]
+        best_eps = max(best_eps, events / elapsed)
+    return {
+        "engine_events": events,
+        "engine_events_per_sec": round(best_eps),
+        "engine_queue_max_size": result.counters["queue_max_size"],
+    }
+
+
+def sweep_times(config: Figure8Config, jobs: int) -> dict:
+    """Serial vs parallel wall time for the same sweep, plus row equality."""
+    start = time.perf_counter()
+    serial_rows = figure8.run(config, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_rows = figure8.run(config, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    return {
+        "sweep_points": len(serial_rows),
+        "sweep_serial_s": round(serial_s, 3),
+        "sweep_parallel_s": round(parallel_s, 3),
+        "sweep_jobs": jobs,
+        "sweep_speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "sweep_rows_identical": parallel_rows == serial_rows,
+    }
+
+
+def main(argv: List[str] = None) -> dict:
+    args = list(argv if argv is not None else sys.argv[1:])
+    jobs = parse_jobs(args)
+    config = Figure8Config.quick()
+    if "--quick" not in args:
+        # The non-quick sweep reproduces the full figure; keep the
+        # benchmark bounded but meaningfully larger than the smoke run.
+        config = Figure8Config(
+            networks=["gnutella"], t_exponents=[0, 4, 8, 12, 16, 20],
+            horizon=2_000.0, n0_scale=0.5,
+        )
+    report = {"cpu_count": os.cpu_count()}
+    report.update(engine_throughput())
+    report.update(sweep_times(config, jobs))
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    for i, arg in enumerate(args):
+        if arg == "--json" and i + 1 < len(args):
+            with open(args[i + 1], "w") as handle:
+                handle.write(text + "\n")
+        elif arg.startswith("--json="):
+            with open(arg.split("=", 1)[1], "w") as handle:
+                handle.write(text + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -2,15 +2,17 @@
 
 Usage::
 
-    python -m repro figure8 [--quick]
-    python -m repro figure9 [--quick]
-    python -m repro figure10 [--quick]
-    python -m repro lowerbound [--quick]
+    python -m repro figure8 [--quick] [--jobs N]
+    python -m repro figure9 [--quick] [--jobs N]
+    python -m repro figure10 [--quick] [--jobs N]
+    python -m repro lowerbound [--quick] [--jobs N]
     python -m repro committee [--quick]
-    python -m repro ablations [--quick]
+    python -m repro ablations [--quick] [--jobs N]
     python -m repro sensitivity [--quick]
     python -m repro all --quick        # everything, scaled down
 
+``--jobs N`` fans the sweep out over N worker processes (default: all
+cores); results are deterministic and identical to a serial run.
 Outputs land in ``results/`` (tables, ASCII plots, CSV series).
 """
 

@@ -14,13 +14,37 @@ class Adversary(abc.ABC):
     """Base class for Sybil attack strategies.
 
     The engine calls :meth:`act` whenever simulation time advances (at
-    every event and at periodic ticks), giving the strategy a chance to
+    events and at periodic ticks), giving the strategy a chance to
     inject Sybil IDs.  Defenses call :meth:`respond_to_purge` and
     :meth:`fund_maintenance` when their mechanisms demand payment from
     standing bad IDs.
+
+    **The ``next_wake`` contract.**  After each :meth:`act` call the
+    engine asks :meth:`next_wake` for the earliest simulation time at
+    which another ``act`` call *could matter*; until the clock reaches
+    that time, ``act`` is not invoked (events are still dispatched --
+    only the adversary call is skipped).  The returned time need not
+    coincide with an event: the engine re-activates the strategy at the
+    first event whose time is >= the wake time, plus once at the horizon
+    *if the wake time is at or before the horizon* (a strategy sleeping
+    past the horizon is not called again at all).
+    Implementations must be *conservative*: it is always sound to return
+    ``now`` (wake at every event, the default) and unsound to sleep past
+    a moment where ``act`` would have had an effect.  Strategies whose
+    only time-dependent input is their accrued budget can safely sleep
+    until the budget covers :data:`MIN_ENTRANCE_COST`.  Methods invoked
+    synchronously by the defense (``respond_to_purge``,
+    ``fund_maintenance``) are *not* gated by the wake time and must not
+    rely on a fresh ``act`` having run first.
     """
 
     name = "adversary"
+
+    #: Every implemented defense quotes an entrance cost of at least 1
+    #: (the paper's 1-hard RB challenge floor).  ``next_wake``
+    #: implementations may rely on this when computing the earliest time
+    #: a join could possibly be affordable.
+    MIN_ENTRANCE_COST = 1.0
 
     def __init__(self) -> None:
         self.sim: "Simulation" = None
@@ -36,6 +60,14 @@ class Adversary(abc.ABC):
     @abc.abstractmethod
     def act(self, now: float) -> None:
         """Opportunity to attack at time ``now`` (called very often)."""
+
+    def next_wake(self, now: float) -> float:
+        """Earliest time another :meth:`act` call could matter.
+
+        The default (``now``) preserves the historical behavior of
+        acting at every event; see the class docstring for the contract.
+        """
+        return now
 
     def respond_to_purge(self, bad_count: int, max_keep: int, now: float) -> int:
         """How many bad IDs the adversary pays 1 each to keep at a purge.
@@ -62,3 +94,7 @@ class PassiveAdversary(Adversary):
 
     def act(self, now: float) -> None:
         return None
+
+    def next_wake(self, now: float) -> float:
+        """``act`` is a no-op, so it never needs to run again."""
+        return float("inf")

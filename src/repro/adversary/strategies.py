@@ -37,10 +37,30 @@ class GreedyJoinAdversary(Adversary):
         self.budget.accrue(now)
         while True:
             reserve = self.budget.reserve_all()
+            if reserve < self.MIN_ENTRANCE_COST:
+                # Below the 1-hard floor nothing is affordable; skip the
+                # defense round-trip (it would report zero attempts).
+                self.budget.refund(reserve)
+                return
             attempted, cost = self.defense.process_bad_join_batch(reserve)
             self.budget.refund(reserve - cost)
             if attempted == 0:
                 return
+
+    def next_wake(self, now: float) -> float:
+        """Sleep until the budget could cover the cheapest possible join.
+
+        Entrance costs are floored at :data:`MIN_ENTRANCE_COST`, so
+        while the available budget is below that, ``act`` is provably a
+        no-op and the engine need not call it.
+        """
+        available = self.budget.available
+        if available >= self.MIN_ENTRANCE_COST:
+            return now
+        rate = self.budget.rate
+        if rate <= 0:
+            return float("inf")
+        return now + (self.MIN_ENTRANCE_COST - available) / rate
 
 
 class LowerBoundAdversary(GreedyJoinAdversary):
@@ -79,10 +99,23 @@ class BurstyJoinAdversary(GreedyJoinAdversary):
         self._next_burst = now + self.burst_period
         while True:
             reserve = self.budget.reserve_all()
+            if reserve < self.MIN_ENTRANCE_COST:
+                self.budget.refund(reserve)
+                return
             attempted, cost = self.defense.process_bad_join_batch(reserve)
             self.budget.refund(reserve - cost)
             if attempted == 0:
                 return
+
+    def next_wake(self, now: float) -> float:
+        """Sleep through the quiet part of the burst cycle.
+
+        Budget accrual is lazy (computed from elapsed time on the next
+        ``accrue``), so skipping the in-between calls loses nothing.
+        """
+        if self._next_burst > now:
+            return self._next_burst
+        return now
 
 
 class PurgeSurvivorAdversary(GreedyJoinAdversary):
@@ -103,13 +136,33 @@ class PurgeSurvivorAdversary(GreedyJoinAdversary):
         self.budget.accrue(now)
         while True:
             spendable = self.budget.available * (1 - self.purge_reserve_fraction)
+            if spendable < self.MIN_ENTRANCE_COST:
+                return
             reserve = self.budget.reserve(spendable)
             attempted, cost = self.defense.process_bad_join_batch(reserve)
             self.budget.refund(reserve - cost)
             if attempted == 0:
                 return
 
+    def next_wake(self, now: float) -> float:
+        """Sleep until the join half of the budget could afford one ID."""
+        if self.purge_reserve_fraction >= 1.0:
+            # Everything is reserved for purge survival; act() can never
+            # join, and respond_to_purge() is not gated by wake-ups.
+            return float("inf")
+        needed = self.MIN_ENTRANCE_COST / (1.0 - self.purge_reserve_fraction)
+        available = self.budget.available
+        if available >= needed:
+            return now
+        rate = self.budget.rate
+        if rate <= 0:
+            return float("inf")
+        return now + (needed - available) / rate
+
     def respond_to_purge(self, bad_count: int, max_keep: int, now: float) -> int:
+        # Purge responses are not gated by next_wake, so the budget may
+        # not have accrued since the last act(); bring it current first.
+        self.budget.accrue(now)
         keep = min(bad_count, max_keep, int(self.budget.available))
         if keep > 0:
             self.budget.spend(float(keep))
@@ -195,6 +248,9 @@ class PersistentFractionAdversary(Adversary):
             self.budget.accrue(now)
             while True:
                 reserve = self.budget.reserve_all()
+                if reserve < self.MIN_ENTRANCE_COST:
+                    self.budget.refund(reserve)
+                    break
                 attempted, cost = self.defense.process_bad_join_batch(reserve)
                 self.budget.refund(reserve - cost)
                 if attempted == 0:

@@ -18,7 +18,7 @@ in Section 9.3:
 and reports cost + max bad fraction, so the defaults can be judged
 against their neighbours.  Run:
 
-    python -m repro.experiments.ablations [--quick]
+    python -m repro.experiments.ablations [--quick] [--jobs N]
 """
 
 from __future__ import annotations
@@ -27,11 +27,11 @@ import sys
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.adversary.strategies import GreedyJoinAdversary
 from repro.analysis.plotting import format_table
 from repro.churn.datasets import NETWORKS
 from repro.core.ergo import Ergo, ErgoConfig
 from repro.experiments.config import scaled_n0
+from repro.experiments.parallel import ADVERSARIES, parallel_map, parse_jobs
 from repro.experiments.report import results_path
 from repro.experiments.runner import run_point
 
@@ -89,58 +89,49 @@ class _ScaledWindowErgo(Ergo):
         )
 
 
-def run_ablations(config: AblationConfig) -> List[AblationRow]:
+def _build_defense(knob: str, value: float) -> Ergo:
+    """Ergo with one design constant swapped out (worker-side)."""
+    if knob == "purge_fraction":
+        return Ergo(ErgoConfig(purge_fraction=value))
+    if knob == "goodjest_threshold":
+        return Ergo(ErgoConfig(goodjest_threshold=value))
+    if knob == "window_scale":
+        return _ScaledWindowErgo(ErgoConfig(), value)
+    raise ValueError(f"unknown ablation knob: {knob!r}")
+
+
+def measure_knob(knob: str, value: float, config: AblationConfig) -> AblationRow:
+    """Simulate one knob setting (module-level so it pickles for --jobs)."""
     network = NETWORKS[config.network]
-    n0 = scaled_n0(network.n0, config.n0_scale)
-    rows: List[AblationRow] = []
+    point = run_point(
+        lambda: _build_defense(knob, value),
+        network,
+        config.attack_rate,
+        horizon=config.horizon,
+        seed=config.seed,
+        n0=scaled_n0(network.n0, config.n0_scale),
+        adversary_factory=ADVERSARIES["greedy"],
+    )
+    return AblationRow(
+        knob=knob,
+        value=value,
+        good_spend_rate=point.good_spend_rate,
+        max_bad_fraction=point.max_bad_fraction,
+        purges=point.counters.get("purges", 0),
+    )
 
-    def measure(knob: str, value: float, factory) -> None:
-        holder = {}
 
-        def wrapped():
-            defense = factory()
-            holder["defense"] = defense
-            return defense
-
-        point = run_point(
-            wrapped,
-            network,
-            config.attack_rate,
-            horizon=config.horizon,
-            seed=config.seed,
-            n0=n0,
-            adversary_factory=lambda t: GreedyJoinAdversary(rate=t),
+def run_ablations(config: AblationConfig, jobs: int = 1) -> List[AblationRow]:
+    tasks = [
+        (knob, value, config)
+        for knob, values in (
+            ("purge_fraction", config.purge_fractions),
+            ("goodjest_threshold", config.goodjest_thresholds),
+            ("window_scale", config.window_scales),
         )
-        defense = holder["defense"]
-        rows.append(
-            AblationRow(
-                knob=knob,
-                value=value,
-                good_spend_rate=point.good_spend_rate,
-                max_bad_fraction=point.max_bad_fraction,
-                purges=defense.purge_count,
-            )
-        )
-
-    for fraction in config.purge_fractions:
-        measure(
-            "purge_fraction",
-            fraction,
-            lambda f=fraction: Ergo(ErgoConfig(purge_fraction=f)),
-        )
-    for threshold in config.goodjest_thresholds:
-        measure(
-            "goodjest_threshold",
-            threshold,
-            lambda t=threshold: Ergo(ErgoConfig(goodjest_threshold=t)),
-        )
-    for scale in config.window_scales:
-        measure(
-            "window_scale",
-            scale,
-            lambda s=scale: _ScaledWindowErgo(ErgoConfig(), s),
-        )
-    return rows
+        for value in values
+    ]
+    return parallel_map(measure_knob, tasks, jobs=jobs, star=True)
 
 
 def render(rows: List[AblationRow], config: AblationConfig) -> str:
@@ -166,7 +157,7 @@ def render(rows: List[AblationRow], config: AblationConfig) -> str:
 def main(argv: List[str] = None) -> List[AblationRow]:
     args = argv if argv is not None else sys.argv[1:]
     config = AblationConfig.quick() if "--quick" in args else AblationConfig()
-    rows = run_ablations(config)
+    rows = run_ablations(config, jobs=parse_jobs(args))
     text = render(rows, config)
     with open(results_path("ablations.txt"), "w") as handle:
         handle.write(text + "\n")

@@ -12,7 +12,7 @@ Expected shape: the SF variants dominate at large T (up to ~3 orders of
 magnitude below the baselines' costs); CH1/CH2 give smaller, dataset-
 dependent gains, most visible at small T on low-churn networks.
 
-Run: ``python -m repro.experiments.figure10 [--quick]``.
+Run: ``python -m repro.experiments.figure10 [--quick] [--jobs N]``.
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ from repro.core.ergo import Ergo, ErgoConfig
 from repro.core.heuristics import ergo_ch1, ergo_ch2, ergo_sf
 from repro.core.protocol import Defense
 from repro.experiments.config import Figure10Config
+from repro.experiments.parallel import parse_jobs
 from repro.experiments.report import save_figure
 from repro.experiments.runner import SweepResult, sweep
 
@@ -39,7 +40,7 @@ def defense_factories(config: Figure10Config) -> Dict[str, Callable[[], Defense]
     }
 
 
-def run(config: Figure10Config) -> List[SweepResult]:
+def run(config: Figure10Config, jobs: int = 1) -> List[SweepResult]:
     t_rates = [float(2**e) for e in config.t_exponents]
     return sweep(
         defense_factories(config),
@@ -48,13 +49,16 @@ def run(config: Figure10Config) -> List[SweepResult]:
         horizon=config.horizon,
         seed=config.seed,
         n0_scale=config.n0_scale,
+        jobs=jobs,
+        factory_provider=defense_factories,
+        provider_arg=config,
     )
 
 
 def main(argv: List[str] = None) -> List[SweepResult]:
     args = argv if argv is not None else sys.argv[1:]
     config = Figure10Config.quick() if "--quick" in args else Figure10Config()
-    rows = run(config)
+    rows = run(config, jobs=parse_jobs(args))
     text = save_figure(
         rows,
         config.networks,

@@ -10,7 +10,7 @@ Expected shape (the reproduction target): REMP flat at (1−κ)T_max/κ ≈
 by ~2 orders of magnitude at T = 2^20; ERGO-SF below Ergo by another
 ~1-1.5 orders.
 
-Run: ``python -m repro.experiments.figure8 [--quick]``.
+Run: ``python -m repro.experiments.figure8 [--quick] [--jobs N]``.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ from repro.core.ergo import Ergo, ErgoConfig
 from repro.core.heuristics import ergo_sf
 from repro.core.protocol import Defense
 from repro.experiments.config import Figure8Config
+from repro.experiments.parallel import parse_jobs
 from repro.experiments.report import save_figure
 from repro.experiments.runner import SweepResult, sweep
 
@@ -43,7 +44,7 @@ def defense_factories(config: Figure8Config) -> Dict[str, Callable[[], Defense]]
     }
 
 
-def run(config: Figure8Config) -> List[SweepResult]:
+def run(config: Figure8Config, jobs: int = 1) -> List[SweepResult]:
     t_rates = [float(2**e) for e in config.t_exponents]
     return sweep(
         defense_factories(config),
@@ -52,13 +53,16 @@ def run(config: Figure8Config) -> List[SweepResult]:
         horizon=config.horizon,
         seed=config.seed,
         n0_scale=config.n0_scale,
+        jobs=jobs,
+        factory_provider=defense_factories,
+        provider_arg=config,
     )
 
 
 def main(argv: List[str] = None) -> List[SweepResult]:
     args = argv if argv is not None else sys.argv[1:]
     config = Figure8Config.quick() if "--quick" in args else Figure8Config()
-    rows = run(config)
+    rows = run(config, jobs=parse_jobs(args))
     text = save_figure(
         rows,
         config.networks,

@@ -11,7 +11,7 @@ Reproduction target: "When T = 0, our estimate is always within range
 (0.08, 1.2) of the actual good join rate.  Moreover, even when
 T = 10,000, our estimate is always within range (0.08, 4)."
 
-Run: ``python -m repro.experiments.figure9 [--quick]``.
+Run: ``python -m repro.experiments.figure9 [--quick] [--jobs N]``.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ from repro.analysis.plotting import format_table
 from repro.churn.datasets import NETWORKS
 from repro.experiments.config import Figure9Config, scaled_n0
 from repro.experiments.estimation import EstimationHarness
+from repro.experiments.parallel import parallel_map, parse_jobs
 from repro.experiments.report import results_path
 from repro.sim.engine import Simulation, SimulationConfig
 from repro.sim.rng import RngRegistry
@@ -101,13 +102,14 @@ def run_cell(
     )
 
 
-def run(config: Figure9Config) -> List[RatioRow]:
-    rows: List[RatioRow] = []
-    for network_name in config.networks:
-        for t_rate in config.attack_rates:
-            for fraction in config.bad_fractions:
-                rows.append(run_cell(network_name, fraction, t_rate, config))
-    return rows
+def run(config: Figure9Config, jobs: int = 1) -> List[RatioRow]:
+    cells = [
+        (network_name, fraction, t_rate, config)
+        for network_name in config.networks
+        for t_rate in config.attack_rates
+        for fraction in config.bad_fractions
+    ]
+    return parallel_map(run_cell, cells, jobs=jobs, star=True)
 
 
 def render(rows: List[RatioRow]) -> str:
@@ -131,7 +133,7 @@ def render(rows: List[RatioRow]) -> str:
 def main(argv: List[str] = None) -> List[RatioRow]:
     args = argv if argv is not None else sys.argv[1:]
     config = Figure9Config.quick() if "--quick" in args else Figure9Config()
-    rows = run(config)
+    rows = run(config, jobs=parse_jobs(args))
     text = render(rows)
     with open(results_path("figure9.txt"), "w") as handle:
         handle.write(text + "\n")

@@ -10,24 +10,29 @@ checked:
   1 says it is asymptotically *optimal* in this class), while CCom's
   gap grows ~√T.
 
-Run: ``python -m repro.experiments.lowerbound [--quick]``.
+Run: ``python -m repro.experiments.lowerbound [--quick] [--jobs N]``.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, Dict, List
 
-from repro.adversary.strategies import LowerBoundAdversary
 from repro.analysis.lower_bound import lower_bound_spend_rate
 from repro.analysis.plotting import format_table
 from repro.baselines.ccom import CCom
 from repro.churn.datasets import NETWORKS
 from repro.core.ergo import Ergo
+from repro.core.protocol import Defense
+from repro.experiments import parallel
 from repro.experiments.config import LowerBoundConfig, scaled_n0
 from repro.experiments.report import results_path
-from repro.experiments.runner import run_point
+
+
+def defense_factories() -> Dict[str, Callable[[], Defense]]:
+    """The two B1-B3 algorithms the bound is checked against."""
+    return {"ERGO": Ergo, "CCOM": CCom}
 
 
 @dataclass
@@ -46,33 +51,36 @@ class LowerBoundRow:
         return self.good_rate / self.bound
 
 
-def run(config: LowerBoundConfig) -> List[LowerBoundRow]:
+def run(config: LowerBoundConfig, jobs: int = 1) -> List[LowerBoundRow]:
     network = NETWORKS[config.network]
     n0 = scaled_n0(network.n0, config.n0_scale)
     join_rate = network.steady_state_rate()
-    rows: List[LowerBoundRow] = []
-    for exponent in config.t_exponents:
-        t_rate = float(2**exponent)
-        for label, factory in (("ERGO", Ergo), ("CCOM", CCom)):
-            point = run_point(
-                factory,
-                network,
-                t_rate,
-                horizon=config.horizon,
-                seed=config.seed,
-                n0=n0,
-                adversary_factory=lambda t: LowerBoundAdversary(rate=t),
-            )
-            rows.append(
-                LowerBoundRow(
-                    defense=label,
-                    t_rate=t_rate,
-                    good_rate=point.good_spend_rate,
-                    join_rate=join_rate,
-                    bound=lower_bound_spend_rate(t_rate, join_rate),
-                )
-            )
-    return rows
+    specs = [
+        parallel.PointSpec(
+            network=config.network,
+            defense=label,
+            t_rate=float(2**exponent),
+            seed=parallel.derive_seed(
+                config.seed, config.network, label, float(2**exponent)
+            ),
+            horizon=config.horizon,
+            n0=n0,
+            adversary="lower-bound",
+        )
+        for exponent in config.t_exponents
+        for label in ("ERGO", "CCOM")
+    ]
+    points = parallel.execute(specs, defense_factories, jobs=jobs)
+    return [
+        LowerBoundRow(
+            defense=point.defense,
+            t_rate=point.t_rate,
+            good_rate=point.good_spend_rate,
+            join_rate=join_rate,
+            bound=lower_bound_spend_rate(point.t_rate, join_rate),
+        )
+        for point in points
+    ]
 
 
 def render(rows: List[LowerBoundRow]) -> str:
@@ -85,7 +93,7 @@ def render(rows: List[LowerBoundRow]) -> str:
 def main(argv: List[str] = None) -> List[LowerBoundRow]:
     args = argv if argv is not None else sys.argv[1:]
     config = LowerBoundConfig.quick() if "--quick" in args else LowerBoundConfig()
-    rows = run(config)
+    rows = run(config, jobs=parallel.parse_jobs(args))
     text = render(rows)
     with open(results_path("lowerbound.txt"), "w") as handle:
         handle.write(text + "\n")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.adversary.base import Adversary
@@ -38,6 +38,10 @@ class SweepResult:
     adversary_spend_rate: float
     max_bad_fraction: float
     final_size: int
+    #: the run's MetricSet counters (purges, queue traffic, ...) --
+    #: participates in equality, so "identical rows" checks between
+    #: serial and parallel sweeps compare event traffic too
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def maintains_defid(self) -> bool:
@@ -81,6 +85,7 @@ def run_point(
         adversary_spend_rate=result.adversary_spend_rate,
         max_bad_fraction=result.max_bad_fraction,
         final_size=result.final_system_size,
+        counters=dict(result.counters),
     )
 
 
@@ -91,22 +96,32 @@ def sweep(
     horizon: float,
     seed: int,
     n0_scale: float = 1.0,
+    jobs: int = 1,
+    factory_provider: Optional[Callable] = None,
+    provider_arg=None,
 ) -> List[SweepResult]:
-    """Cartesian sweep over networks × defenses × attack rates."""
-    rows: List[SweepResult] = []
-    for network_name in networks:
-        network = NETWORKS[network_name]
-        n0 = scaled_n0(network.n0, n0_scale)
-        for label, factory in defense_factories.items():
-            for t_rate in t_rates:
-                row = run_point(
-                    factory,
-                    network,
-                    t_rate,
-                    horizon=horizon,
-                    seed=seed,
-                    n0=n0,
-                )
-                row.defense = label
-                rows.append(row)
-    return rows
+    """Cartesian sweep over networks × defenses × attack rates.
+
+    Per-point seeds are derived deterministically from ``seed`` and the
+    point's coordinates, so the same call produces bit-identical rows
+    regardless of ``jobs``.  With ``jobs != 1`` the points run across a
+    process pool; workers rebuild the factories either by unpickling
+    ``defense_factories`` itself (fine when its values are plain
+    classes) or -- when the factories are closures -- by calling
+    ``factory_provider(provider_arg)``, both of which must then be
+    picklable (e.g. ``figure8.defense_factories`` and its config).
+    """
+    from repro.experiments import parallel
+
+    specs = parallel.build_sweep_specs(
+        networks=networks,
+        defenses=list(defense_factories),
+        t_rates=t_rates,
+        horizon=horizon,
+        seed=seed,
+        n0_scale=n0_scale,
+    )
+    if factory_provider is None:
+        factory_provider = parallel.factories_from_dict
+        provider_arg = defense_factories
+    return parallel.execute(specs, factory_provider, provider_arg, jobs=jobs)

@@ -15,6 +15,22 @@ The loop is a classic discrete-event simulation: events are popped in
 chance to act at the new time, and then the event is dispatched.  Regular
 ``Tick`` events guarantee the adversary can act even during quiet periods
 of the trace.
+
+Hot-path design (this loop runs millions of times per sweep):
+
+* **Lazy ticks** -- a single recurring ``Tick`` is re-armed as it fires
+  instead of pre-scheduling ``horizon / tick_interval`` events up front,
+  so the heap stays shallow (cheaper pushes/pops) and memory stays O(1)
+  in the horizon.
+* **Handler-table dispatch** -- events are routed through a dict keyed
+  on the event class rather than an ``isinstance`` chain.
+* **Adversary wake-ups** -- the adversary's
+  :meth:`~repro.adversary.base.Adversary.next_wake` tells the engine the
+  earliest time another ``act`` call could matter, so strategies that
+  are out of budget (or passive) are not invoked on every event.
+* **Single-event churn lookahead** -- at most one pending churn event is
+  held outside the heap, so unbounded generators are consumed lazily
+  and far-future events are not pushed early.
 """
 
 from __future__ import annotations
@@ -22,7 +38,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Tuple
 
 from repro.sim.clock import Clock
 from repro.sim.events import (
@@ -40,6 +56,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.adversary.base import Adversary
     from repro.core.protocol import Defense
 
+#: ``Tick`` events run after any same-time protocol event.
+TICK_PRIORITY = 10
+
 
 class EventQueue:
     """A priority queue of events ordered by ``(time, priority, seq)``.
@@ -47,18 +66,35 @@ class EventQueue:
     ``priority`` breaks ties at equal times (lower runs first); ``seq`` is
     a monotone counter providing the deterministic total order that the
     ABC model's "server orders simultaneous events" assumption requires.
+
+    The queue counts its own traffic (``pushes``, ``pops``, ``max_size``)
+    so benchmarks and tests can verify scheduling changes -- e.g. that
+    lazy tick re-arming keeps the heap shallow.
     """
+
+    __slots__ = ("_heap", "_seq", "pushes", "pops", "max_size")
 
     def __init__(self) -> None:
         self._heap: list[Tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
+        #: total events ever pushed / popped, and the high-water mark of
+        #: resident heap entries (all exposed via ``MetricSet.counters``
+        #: as ``queue_pushes`` / ``queue_pops`` / ``queue_max_size``).
+        self.pushes = 0
+        self.pops = 0
+        self.max_size = 0
 
     def push(self, event: Event, priority: int = 0) -> None:
-        heapq.heappush(self._heap, (event.time, priority, next(self._seq), event))
+        heap = self._heap
+        heapq.heappush(heap, (event.time, priority, next(self._seq), event))
+        self.pushes += 1
+        if len(heap) > self.max_size:
+            self.max_size = len(heap)
 
     def pop(self) -> Event:
         if not self._heap:
             raise IndexError("pop from empty event queue")
+        self.pops += 1
         return heapq.heappop(self._heap)[3]
 
     def peek_time(self) -> Optional[float]:
@@ -96,7 +132,7 @@ class SimulationResult:
     max_bad_fraction: float
     final_system_size: int
     counters: dict
-    metrics: MetricSet = field(repr=False, default=None)
+    metrics: Optional[MetricSet] = field(repr=False, default=None)
 
     @property
     def advantage(self) -> float:
@@ -126,8 +162,25 @@ class Simulation:
         self.defense = defense
         self.adversary = adversary
         self._churn: Iterator[Event] = iter(churn)
+        self._churn_done = False
+        #: at most one churn event held back until the frontier reaches it
+        self._pending_churn: Optional[Event] = None
         self._initial_members = list(initial_members) if initial_members else []
         self._next_sample = 0.0
+        #: earliest time another adversary.act() call could matter
+        self._adversary_wake = float("-inf")
+        #: event tallies flushed into MetricSet.counters at summarize
+        #: time (a plain int increment is much cheaper than a dict-backed
+        #: counter bump on the per-event path)
+        self._good_join_events = 0
+        self._good_departure_events = 0
+        self._handlers: dict = {
+            GoodJoin: self._handle_good_join,
+            GoodDeparture: self._handle_good_departure,
+            BadDeparture: self._handle_bad_departure,
+            Tick: self._handle_tick,
+            Callback: self._handle_callback,
+        }
         defense.bind(self)
         if adversary is not None:
             adversary.bind(self, defense)
@@ -147,24 +200,86 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the simulation until the horizon and summarize."""
-        horizon = self.config.horizon
+        config = self.config
+        horizon = config.horizon
+        sample_interval = config.sample_interval
         self._bootstrap()
-        self._prime_ticks()
-        self._pump_churn(limit_time=horizon)
-        while self.queue:
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > horizon:
+        self._arm_tick()
+        # Local bindings for the per-event loop: every attribute chased
+        # here would otherwise be chased once per event.  The churn pump
+        # is inlined as well -- the common case ("held-back event is
+        # still beyond the frontier") is a two-comparison check.
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        next_seq = queue._seq.__next__
+        clock = self.clock
+        adversary = self.adversary
+        handlers = self._handlers
+        resolve = self._handler_for
+        adv_wake = self._adversary_wake
+        next_sample = self._next_sample
+        now = clock._now
+        churn_iter = self._churn
+        pending = self._pending_churn
+        if pending is None and not self._churn_done:
+            pending = next(churn_iter, None)
+        pops = 0
+        churn_pushes = 0
+        max_size = queue.max_size
+        while True:
+            # Admit every churn event due at or before the frontier.
+            while pending is not None:
+                pull_until = heap[0][0] if heap else horizon
+                if pull_until > horizon:
+                    pull_until = horizon
+                if pending.time > pull_until:
+                    break
+                heappush(heap, (pending.time, 0, next_seq(), pending))
+                churn_pushes += 1
+                if len(heap) > max_size:
+                    max_size = len(heap)
+                pending = next(churn_iter, None)
+            if not heap:
                 break
-            event = self.queue.pop()
-            self.clock.advance_to(event.time)
-            if self.adversary is not None:
-                self.adversary.act(self.clock.now)
-            self._dispatch(event)
-            self._maybe_sample()
-            self._pump_churn(limit_time=horizon)
+            event_time = heap[0][0]
+            if event_time > horizon:
+                break
+            event = heappop(heap)[3]
+            pops += 1
+            # Keep Clock.advance_to's fail-loud invariant without its
+            # call overhead: an event behind the clock means an unsorted
+            # churn source or a negative-delay schedule, and processing
+            # it would silently corrupt every rate and series.
+            if event_time < now:
+                raise ValueError(
+                    f"clock cannot move backwards: now={now}, "
+                    f"requested={event_time}"
+                )
+            now = clock._now = event_time
+            if adversary is not None and event_time >= adv_wake:
+                adversary.act(event_time)
+                adv_wake = adversary.next_wake(event_time)
+            cls = event.__class__
+            handler = handlers.get(cls)
+            if handler is None:
+                handler = resolve(cls)
+            handler(event, event_time)
+            if event_time >= next_sample:
+                self._sample_now()
+                next_sample = event_time + sample_interval
+        queue.pops += pops
+        queue.pushes += churn_pushes
+        if queue.max_size < max_size:
+            queue.max_size = max_size
+        self._pending_churn = pending
+        self._churn_done = pending is None
+        self._adversary_wake = adv_wake
+        self._next_sample = next_sample
         self.clock.advance_to(horizon)
-        if self.adversary is not None:
-            self.adversary.act(horizon)
+        if adversary is not None and horizon >= adv_wake:
+            adversary.act(horizon)
         self._sample_now()
         return self._summarize()
 
@@ -192,67 +307,64 @@ class Simulation:
             if 0 <= depart_at <= self.config.horizon:
                 self.queue.push(GoodDeparture(time=depart_at, ident=member.ident))
 
-    def _prime_ticks(self) -> None:
+    def _arm_tick(self) -> None:
+        """Schedule the first recurring tick (re-armed as each one fires).
+
+        Only one tick is ever resident in the queue: pre-scheduling
+        ``horizon / tick_interval`` of them (10,001 heap entries at the
+        defaults) made every heap operation pay a log of that bulk.
+        """
         interval = self.config.tick_interval
         if interval <= 0:
             return
-        when = interval
-        while when <= self.config.horizon:
-            self.queue.push(Tick(time=when), priority=10)
-            when += interval
+        if interval <= self.config.horizon:
+            self.queue.push(Tick(time=interval), priority=TICK_PRIORITY)
 
-    def _pump_churn(self, limit_time: float) -> None:
-        """Move churn events into the queue up to the next queued time.
+    # ------------------------------------------------------------------
+    # event handlers (dispatch table; one per event class)
+    # ------------------------------------------------------------------
+    def _handle_good_join(self, event: GoodJoin, now: float) -> None:
+        self._good_join_events += 1
+        admitted_ident = self.defense.process_good_join(event.ident)
+        if admitted_ident is not None and event.session is not None:
+            depart_at = now + event.session
+            if depart_at <= self.config.horizon:
+                self.queue.push(GoodDeparture(time=depart_at, ident=admitted_ident))
 
-        The churn iterator may be unbounded (session-based generators),
-        so we only pull events that could possibly run next.
-        """
-        while True:
-            frontier = self.queue.peek_time()
-            if frontier is not None and frontier <= limit_time:
-                pull_until = frontier
-            else:
-                pull_until = limit_time
-            event = next(self._churn, None)
-            if event is None:
-                return
-            self.queue.push(event)
-            if event.time > pull_until:
-                return
+    def _handle_good_departure(self, event: GoodDeparture, now: float) -> None:
+        self._good_departure_events += 1
+        self.defense.process_good_departure(event.ident)
+
+    def _handle_bad_departure(self, event: BadDeparture, now: float) -> None:
+        self.defense.process_bad_departure(event.ident)
+
+    def _handle_tick(self, event: Tick, now: float) -> None:
+        self.defense.on_tick(now)
+        next_tick = event.time + self.config.tick_interval
+        if next_tick <= self.config.horizon:
+            self.queue.push(Tick(time=next_tick), priority=TICK_PRIORITY)
+
+    def _handle_callback(self, event: Callback, now: float) -> None:
+        event.fn(now)
+
+    def _handler_for(self, cls: type) -> Callable[[Event, float], None]:
+        """Resolve (and cache) the handler for an event subclass."""
+        for base in cls.__mro__:
+            handler = self._handlers.get(base)
+            if handler is not None:
+                self._handlers[cls] = handler
+                return handler
+        raise TypeError(f"unhandled event type: {cls.__name__}")
 
     def _dispatch(self, event: Event) -> None:
-        now = self.clock.now
-        if isinstance(event, GoodJoin):
-            self.metrics.counters.add("good_join_events")
-            admitted_ident = self.defense.process_good_join(event.ident)
-            if admitted_ident is not None and event.session is not None:
-                depart_at = now + event.session
-                if depart_at <= self.config.horizon:
-                    self.queue.push(
-                        GoodDeparture(time=depart_at, ident=admitted_ident)
-                    )
-        elif isinstance(event, GoodDeparture):
-            self.metrics.counters.add("good_departure_events")
-            self.defense.process_good_departure(event.ident)
-        elif isinstance(event, BadDeparture):
-            self.defense.process_bad_departure(event.ident)
-        elif isinstance(event, Tick):
-            self.defense.on_tick(now)
-        elif isinstance(event, Callback):
-            event.fn(now)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unhandled event type: {type(event).__name__}")
-
-    def _maybe_sample(self) -> None:
-        if self.clock.now >= self._next_sample:
-            self._sample_now()
-            self._next_sample = self.clock.now + self.config.sample_interval
+        """Route one event (kept for tests and out-of-loop callers)."""
+        self._handler_for(event.__class__)(event, self.clock.now)
 
     def _sample_now(self) -> None:
         now = self.clock.now
         size = self.defense.system_size()
         fraction = self.defense.bad_fraction()
-        if self.metrics.system_size.times and self.metrics.system_size.times[-1] == now:
+        if self.metrics.system_size.last_time() == now:
             return
         self.metrics.system_size.record(now, size)
         self.metrics.bad_fraction.record(now, fraction)
@@ -261,6 +373,16 @@ class Simulation:
         horizon = self.config.horizon
         max_bad = self.metrics.bad_fraction.max() if len(self.metrics.bad_fraction) else 0.0
         max_bad = max(max_bad, getattr(self.defense, "peak_bad_fraction", 0.0))
+        counters = self.metrics.counters
+        if self._good_join_events:
+            counters.add("good_join_events", self._good_join_events)
+            self._good_join_events = 0
+        if self._good_departure_events:
+            counters.add("good_departure_events", self._good_departure_events)
+            self._good_departure_events = 0
+        counters.add("queue_pushes", self.queue.pushes)
+        counters.add("queue_pops", self.queue.pops)
+        counters.add("queue_max_size", self.queue.max_size)
         return SimulationResult(
             horizon=horizon,
             good_spend=self.metrics.good.total,
@@ -269,6 +391,6 @@ class Simulation:
             adversary_spend_rate=self.metrics.adversary.rate(horizon),
             max_bad_fraction=max_bad,
             final_system_size=self.defense.system_size(),
-            counters=self.metrics.counters.as_dict(),
+            counters=counters.as_dict(),
             metrics=self.metrics,
         )

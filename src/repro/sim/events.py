@@ -7,13 +7,18 @@ its scheduled time; the engine orders them by ``(time, priority, seq)``.
 The ABC model (Section 2.1.1 of the paper) assumes every join/departure
 occurs at a unique point in time, with ties broken by the server.  The
 engine's ``seq`` counter provides exactly that deterministic tie-break.
+
+``kind`` is a class-level type tag (not a property): the engine routes
+events through a handler table keyed on the event class, and metrics /
+logging code reads ``event.kind`` in hot paths, so the tag must cost a
+plain attribute lookup.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, ClassVar, Optional
 
 
 class EventKind(enum.Enum):
@@ -33,9 +38,17 @@ class Event:
 
     time: float
 
-    @property
-    def kind(self) -> EventKind:
-        raise NotImplementedError
+    #: Type tag; every concrete subclass overrides this.
+    kind: ClassVar[Optional[EventKind]] = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # Fail at class-definition time rather than letting a tagless
+        # event slip through kind-based filters (e.g. trace queries).
+        super().__init_subclass__(**kwargs)
+        if cls.__dict__.get("kind", cls.kind) is None:
+            raise TypeError(
+                f"event class {cls.__name__} must define a 'kind' type tag"
+            )
 
 
 @dataclass(frozen=True)
@@ -52,9 +65,7 @@ class GoodJoin(Event):
     ident: Optional[str] = None
     session: Optional[float] = None
 
-    @property
-    def kind(self) -> EventKind:
-        return EventKind.GOOD_JOIN
+    kind: ClassVar[EventKind] = EventKind.GOOD_JOIN
 
 
 @dataclass(frozen=True)
@@ -69,9 +80,7 @@ class GoodDeparture(Event):
 
     ident: Optional[str] = None
 
-    @property
-    def kind(self) -> EventKind:
-        return EventKind.GOOD_DEPARTURE
+    kind: ClassVar[EventKind] = EventKind.GOOD_DEPARTURE
 
 
 @dataclass(frozen=True)
@@ -80,9 +89,7 @@ class BadJoin(Event):
 
     ident: Optional[str] = None
 
-    @property
-    def kind(self) -> EventKind:
-        return EventKind.BAD_JOIN
+    kind: ClassVar[EventKind] = EventKind.BAD_JOIN
 
 
 @dataclass(frozen=True)
@@ -91,18 +98,14 @@ class BadDeparture(Event):
 
     ident: str = ""
 
-    @property
-    def kind(self) -> EventKind:
-        return EventKind.BAD_DEPARTURE
+    kind: ClassVar[EventKind] = EventKind.BAD_DEPARTURE
 
 
 @dataclass(frozen=True)
 class Tick(Event):
     """A periodic opportunity for adversary/defense housekeeping."""
 
-    @property
-    def kind(self) -> EventKind:
-        return EventKind.TICK
+    kind: ClassVar[EventKind] = EventKind.TICK
 
 
 @dataclass(frozen=True)
@@ -116,6 +119,4 @@ class Callback(Event):
     fn: Callable[[float], None] = field(default=lambda _t: None)
     label: str = ""
 
-    @property
-    def kind(self) -> EventKind:
-        return EventKind.CALLBACK
+    kind: ClassVar[EventKind] = EventKind.CALLBACK

@@ -13,7 +13,7 @@ from __future__ import annotations
 import bisect
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 
 class Counter:
@@ -79,6 +79,16 @@ class TimeSeries:
         if not self._values:
             raise ValueError(f"time series {self.name!r} is empty")
         return self._values[-1]
+
+    def last_time(self) -> Optional[float]:
+        """Time of the most recent sample, or ``None`` when empty.
+
+        O(1), unlike the :attr:`times` property (which copies the whole
+        series and is meant for analysis code, not per-event checks).
+        """
+        if not self._times:
+            return None
+        return self._times[-1]
 
     def value_at(self, time: float) -> float:
         """The most recent sample at or before ``time`` (step function)."""

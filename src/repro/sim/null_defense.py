@@ -1,0 +1,42 @@
+"""A minimal pass-through defense for engine benchmarks and tests.
+
+``NullDefense`` admits every good join at cost 0, admits Sybil joins at
+the 1-hard floor, and runs no periodic machinery.  It exists so that
+engine-loop measurements (``benchmarks/bench_micro.py``,
+``benchmarks/bench_sweep.py``) exercise the *driver* -- heap traffic,
+dispatch, adversary wake-ups, churn pumping, sampling -- rather than any
+particular protocol's bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.protocol import Defense
+
+
+class NullDefense(Defense):
+    """Accepts everything; costs nothing beyond the 1-hard Sybil floor."""
+
+    name = "null"
+
+    def process_good_join(self, ident: Optional[str] = None) -> Optional[str]:
+        unique = self.ids.issue(ident if ident is not None else "g")
+        self.population.good_join(unique, self.now)
+        return unique
+
+    def process_good_departure(self, ident: Optional[str] = None) -> Optional[str]:
+        victim = self._select_departing_good(ident)
+        if victim is not None:
+            self.population.good_depart(victim)
+        return victim
+
+    def quote_entrance_cost(self) -> float:
+        return 1.0
+
+    def process_bad_join_batch(self, budget: float) -> Tuple[int, float]:
+        joins = int(budget)
+        if joins:
+            self.population.bad.join(joins, self.now)
+            self.accountant.charge_adversary(float(joins), category="entrance")
+        return joins, float(joins)

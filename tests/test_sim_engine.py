@@ -150,6 +150,14 @@ class TestSimulation:
         sim.run()
         assert fired == [1.0, 3.0, 5.0]
 
+    def test_unsorted_churn_fails_loudly(self):
+        # The hot loop keeps Clock.advance_to's invariant: an event
+        # behind the clock is a corrupted trace, not a soft skip.
+        events = [GoodJoin(time=5.0), GoodJoin(time=9.0), GoodJoin(time=1.0)]
+        sim, defense = self._build(events)
+        with pytest.raises(ValueError, match="backwards"):
+            sim.run()
+
     def test_departure_of_unknown_id_is_noop(self):
         events = [GoodDeparture(time=1.0, ident="ghost")]
         sim, defense = self._build(events)
@@ -173,3 +181,108 @@ class TestSimulation:
         assert result.good_spend == 0.0
         assert result.horizon == 10.0
         assert result.counters["good_join_events"] == 1
+
+
+class TestLazyTicks:
+    """One recurring Tick is re-armed instead of pre-scheduling them all."""
+
+    def _run(self, horizon=1000.0, tick=1.0, events=()):
+        defense = RecordingDefense()
+        sim = Simulation(
+            SimulationConfig(horizon=horizon, tick_interval=tick),
+            defense,
+            list(events),
+        )
+        return sim.run(), defense
+
+    def test_all_ticks_still_fire(self):
+        result, defense = self._run(horizon=1000.0, tick=1.0)
+        assert defense.ticks == 1000
+
+    def test_heap_stays_shallow(self):
+        # Pre-scheduling would hold ~1000 ticks resident; lazy re-arming
+        # keeps the high-water mark near the number of live events.
+        result, _ = self._run(horizon=1000.0, tick=1.0)
+        assert result.counters["queue_max_size"] < 20
+
+    def test_queue_traffic_counters_exposed(self):
+        result, _ = self._run(horizon=100.0, tick=1.0)
+        assert result.counters["queue_pops"] == 100  # the ticks
+        assert result.counters["queue_pushes"] == 100
+        assert result.counters["queue_max_size"] >= 1
+
+    def test_tick_grid_matches_eager_schedule(self):
+        # Re-armed ticks land on the same accumulated grid the old
+        # pre-scheduler produced (interval, 2*interval, ...).
+        fired = []
+
+        class GridDefense(RecordingDefense):
+            def on_tick(self, now):
+                fired.append(now)
+
+        defense = GridDefense()
+        sim = Simulation(
+            SimulationConfig(horizon=5.0, tick_interval=1.5),
+            defense,
+            [],
+        )
+        sim.run()
+        expected = []
+        when = 1.5
+        while when <= 5.0:
+            expected.append(when)
+            when += 1.5
+        assert fired == expected
+
+
+class CountingAdversary:
+    """Records act() calls and sleeps a fixed delay between wake-ups."""
+
+    name = "counting"
+
+    def __init__(self, delay):
+        self.delay = delay
+        self.calls = []
+
+    def bind(self, sim, defense):
+        defense.register_adversary(self)
+
+    def act(self, now):
+        self.calls.append(now)
+
+    def next_wake(self, now):
+        return now + self.delay
+
+    def respond_to_purge(self, bad_count, max_keep, now):
+        return 0
+
+    def fund_maintenance(self, bad_count, cost_per_id, now):
+        return 0
+
+
+class TestAdversaryWakeups:
+    def _run(self, adversary, horizon=10.0, tick=1.0):
+        defense = RecordingDefense()
+        sim = Simulation(
+            SimulationConfig(horizon=horizon, tick_interval=tick),
+            defense,
+            [],
+            adversary=adversary,
+        )
+        return sim.run()
+
+    def test_sleeping_adversary_skips_events(self):
+        adversary = CountingAdversary(delay=3.0)
+        self._run(adversary, horizon=10.0, tick=1.0)
+        # Ticks at 1..10 plus the horizon call; wakes every >=3s, not 11x.
+        assert adversary.calls == [1.0, 4.0, 7.0, 10.0]
+
+    def test_always_awake_adversary_sees_every_event(self):
+        adversary = CountingAdversary(delay=0.0)
+        self._run(adversary, horizon=5.0, tick=1.0)
+        assert adversary.calls == [1.0, 2.0, 3.0, 4.0, 5.0, 5.0]
+
+    def test_never_waking_adversary_called_once(self):
+        adversary = CountingAdversary(delay=float("inf"))
+        self._run(adversary, horizon=5.0, tick=1.0)
+        assert adversary.calls == [1.0]
