@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-quick
+.PHONY: test smoke bench-quick bench-scale
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,6 +10,12 @@ test:
 smoke:
 	$(PYTHON) -m repro figure8 --quick --jobs 2
 
-# Dump the perf trajectory snapshot (engine events/sec + sweep wall time).
+# Dump the perf trajectory snapshot (engine events/sec, fast-path vs
+# heap-path A/B, sweep wall time).
 bench-quick:
 	$(PYTHON) benchmarks/bench_sweep.py --quick --jobs 2 --json BENCH_micro.json
+
+# The 10^5-good-ID flash-crowd scale benchmark (fails if any defense
+# blows the wall-time budget or the fast path does not engage).
+bench-scale:
+	$(PYTHON) benchmarks/bench_scale.py --json BENCH_scale.json

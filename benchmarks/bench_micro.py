@@ -14,8 +14,9 @@ from repro.core.ergo import Ergo
 from repro.core.population import AggregateBadPopulation
 from repro.identity.membership import MembershipSet, SymmetricDifferenceTracker
 from repro.rb.pow import PowChallenge, solve_pow, verify_pow
+from repro.sim.blocks import ChurnBlock
 from repro.sim.engine import EventQueue, Simulation, SimulationConfig
-from repro.sim.events import GoodJoin, Tick
+from repro.sim.events import Tick
 from repro.sim.metrics import SlidingWindowCounter
 from repro.sim.null_defense import NullDefense
 
@@ -74,33 +75,66 @@ def bench_sliding_window(benchmark):
 
 
 def bench_engine_event_loop(benchmark):
-    """The full per-event loop: heap, dispatch, adversary wake-ups, churn.
+    """The full engine loop: block fast path, heap, adversary wake-ups.
 
     Uses a pass-through defense so the measured cost is the engine's own
     (the number here is the one ``benchmarks/bench_sweep.py`` converts
-    to events/sec for the perf trajectory in ``BENCH_micro.json``).
+    to events/sec for the perf trajectory in ``BENCH_micro.json``).  The
+    churn is a :class:`~repro.sim.blocks.ChurnBlock`, so joins ride the
+    zero-heap fast path while session departures and ticks flow through
+    the queue.
     """
     n_joins, horizon = 10_000, 2_500.0
     step = horizon / n_joins
-    events = [
-        GoodJoin(time=(i + 1) * step, ident=f"g{i}", session=50.0 * step)
-        for i in range(n_joins)
-    ]
+    block = ChurnBlock(
+        (np.arange(n_joins) + 1) * step,
+        np.zeros(n_joins, dtype=np.uint8),
+        sessions=np.full(n_joins, 50.0 * step),
+    )
 
     def run():
         sim = Simulation(
             SimulationConfig(horizon=horizon, tick_interval=1.0, seed=1),
             NullDefense(),
-            events,
+            [block],
             adversary=GreedyJoinAdversary(rate=0.5),
         )
         return sim.run()
 
     result = benchmark(run)
-    # joins + departures + ticks all flowed through the queue ...
-    assert result.counters["queue_pops"] > n_joins + horizon / 1.0
-    # ... but the lazy tick kept the heap shallow (no pre-scheduled bulk).
+    # Every join was applied straight from the block (zero heap) ...
+    assert result.counters["churn_events_fast"] == n_joins
+    # ... departures and ticks still flowed through the queue ...
+    assert result.counters["queue_pops"] > horizon / 1.0
+    # ... and the lazy tick kept the heap shallow (no pre-scheduled bulk).
     assert result.counters["queue_max_size"] < 100
+
+
+def bench_engine_event_loop_heap_path(benchmark):
+    """The same workload with the fast path disabled (the A/B baseline)."""
+    n_joins, horizon = 10_000, 2_500.0
+    step = horizon / n_joins
+    block = ChurnBlock(
+        (np.arange(n_joins) + 1) * step,
+        np.zeros(n_joins, dtype=np.uint8),
+        sessions=np.full(n_joins, 50.0 * step),
+    )
+
+    def run():
+        sim = Simulation(
+            SimulationConfig(
+                horizon=horizon, tick_interval=1.0, seed=1,
+                churn_fast_path=False,
+            ),
+            NullDefense(),
+            [block],
+            adversary=GreedyJoinAdversary(rate=0.5),
+        )
+        return sim.run()
+
+    result = benchmark(run)
+    assert result.counters["churn_events_fast"] == 0
+    assert result.counters["queue_pops"] > n_joins + horizon / 1.0
 
 
 def bench_event_queue(benchmark):

@@ -1,0 +1,143 @@
+"""Large-population scale benchmark: a 10^5-good-ID flash crowd.
+
+The related-systems literature (SybilControl, Tor Sybil
+characterization) evaluates at populations of 10^5+ IDs -- a regime the
+per-event churn path could not reach in reasonable wall time.  This
+benchmark drives a flash crowd of ``N_JOINS`` good IDs arriving in a
+``BURST_S``-second burst (Poisson, block-mode churn) with exponential
+sessions, against three defenses:
+
+* ``null``         -- engine floor: scheduling + membership only;
+* ``sybilcontrol`` -- recurring-cost baseline (periodic test cycles);
+* ``ergo``         -- the paper's defense: window pricing, GoodJEst,
+  purges, all at 10^5 scale.
+
+Each run must finish within ``BUDGET_S`` seconds of wall time and must
+process at least 95% of the trace's joins through the engine's
+zero-heap fast path (``churn_events_fast``), which is what makes the
+scale reachable.
+
+Run (writes ``BENCH_scale.json`` when ``--json`` is given)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --json BENCH_scale.json
+
+or simply ``make bench-scale``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.baselines.sybilcontrol import SybilControl
+from repro.churn.generators import poisson_join_blocks
+from repro.churn.sessions import ExponentialSessions
+from repro.core.ergo import Ergo
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.null_defense import NullDefense
+from repro.sim.rng import RngRegistry
+
+#: Flash-crowd shape: N_JOINS good IDs over BURST_S seconds, sessions
+#: long enough that the crowd is still around when the burst ends.
+N_JOINS = 100_000
+BURST_S = 200.0
+MEAN_SESSION_S = 600.0
+HORIZON_S = 1_000.0
+
+#: Wall-time budget per defense run ("finishing in seconds", documented
+#: in EXPERIMENTS.md).  Generous enough for CI machines.
+BUDGET_S = 60.0
+
+#: Minimum fraction of joins that must ride the zero-heap fast path.
+MIN_FAST_FRACTION = 0.95
+
+DEFENSES: Dict[str, Callable] = {
+    "null": NullDefense,
+    "sybilcontrol": SybilControl,
+    "ergo": Ergo,
+}
+
+
+def flash_crowd_blocks(seed: int = 7):
+    """The block-mode churn source for one run (fresh RNG each call)."""
+    rngs = RngRegistry(seed=seed)
+    return poisson_join_blocks(
+        rate=N_JOINS / BURST_S,
+        session_dist=ExponentialSessions(MEAN_SESSION_S),
+        rng=rngs.stream("scale.flash"),
+        horizon=BURST_S,
+    )
+
+
+def run_defense(name: str) -> dict:
+    """One flash-crowd run; returns the per-defense report row."""
+    defense = DEFENSES[name]()
+    sim = Simulation(
+        SimulationConfig(horizon=HORIZON_S, tick_interval=1.0, seed=7),
+        defense,
+        flash_crowd_blocks(),
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    wall_s = time.perf_counter() - start
+    counters = result.counters
+    joins = counters.get("good_join_events", 0)
+    events = counters["queue_pops"] + counters["churn_events_fast"]
+    fast_fraction = counters["churn_events_fast"] / max(joins, 1)
+    return {
+        "defense": name,
+        "wall_s": round(wall_s, 3),
+        "within_budget": wall_s <= BUDGET_S,
+        "events": events,
+        "events_per_sec": round(events / wall_s) if wall_s else None,
+        "good_joins": joins,
+        "final_size": result.final_system_size,
+        "good_spend_rate": round(result.good_spend_rate, 3),
+        "churn_events_fast": counters["churn_events_fast"],
+        "churn_events_heap": counters["churn_events_heap"],
+        "fast_fraction": round(fast_fraction, 4),
+        "queue_max_size": counters["queue_max_size"],
+    }
+
+
+def main(argv: List[str] = None) -> dict:
+    args = list(argv if argv is not None else sys.argv[1:])
+    report = {
+        "n_joins": N_JOINS,
+        "burst_s": BURST_S,
+        "mean_session_s": MEAN_SESSION_S,
+        "horizon_s": HORIZON_S,
+        "budget_s": BUDGET_S,
+        "runs": [],
+    }
+    ok = True
+    for name in DEFENSES:
+        row = run_defense(name)
+        report["runs"].append(row)
+        if not row["within_budget"]:
+            ok = False
+            print(f"!! {name}: {row['wall_s']}s exceeds the {BUDGET_S}s budget",
+                  file=sys.stderr)
+        if row["fast_fraction"] < MIN_FAST_FRACTION:
+            ok = False
+            print(f"!! {name}: fast path carried only "
+                  f"{row['fast_fraction']:.1%} of joins", file=sys.stderr)
+    report["ok"] = ok
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    for i, arg in enumerate(args):
+        if arg == "--json" and i + 1 < len(args):
+            with open(args[i + 1], "w") as handle:
+                handle.write(text + "\n")
+        elif arg.startswith("--json="):
+            with open(arg.split("=", 1)[1], "w") as handle:
+                handle.write(text + "\n")
+    if not ok:
+        sys.exit(1)
+    return report
+
+
+if __name__ == "__main__":
+    main()

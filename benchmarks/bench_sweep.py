@@ -1,14 +1,31 @@
 """Sweep executor benchmark: serial vs parallel wall time + engine throughput.
 
-Two measurements:
+Three measurements:
 
 1. **Engine event throughput** -- a fixed synthetic workload (joins with
    sessions, one recurring tick, a budget-limited greedy adversary)
    against :class:`repro.sim.null_defense.NullDefense`, so the number is
    dominated by the engine loop itself rather than defense bookkeeping.
-2. **Sweep wall time** -- the quick Figure 8 sweep run serially
-   (``jobs=1``) and through the :mod:`repro.experiments.parallel`
-   process pool, with a row-for-row equality check between the two.
+   The workload is fed as a :class:`~repro.sim.blocks.ChurnBlock` and
+   measured twice: through the zero-heap fast path
+   (``engine_events_per_sec``) and with the fast path disabled so every
+   row goes through the heap as an ``Event``
+   (``engine_events_per_sec_heap``).  Events/sec counts *logical* events
+   processed: ``queue_pops + churn_events_fast``.
+
+2. **Fast-path equivalence** -- the quick Figure 8 sweep run serially
+   with the fast path on and off; rows must match on every simulated
+   quantity (``sweep_fastpath_rows_identical``).  Scheduling diagnostics
+   (``queue_*``, ``churn_events_*``) are excluded from the comparison --
+   they describe *how* events were processed, which is exactly what
+   differs between the paths.
+
+3. **Sweep wall time** -- the same sweep serially (``jobs=1``) and
+   through the :mod:`repro.experiments.parallel` process pool, with a
+   full row-for-row equality check (counters included: both runs take
+   the same path).  When the requested ``--jobs`` exceeds the machine's
+   cores the comparison is marked ``"skipped (insufficient cores)"``
+   instead of recording a meaningless slowdown.
 
 Run (writes ``BENCH_micro.json`` when ``--json`` is given)::
 
@@ -26,54 +43,138 @@ import sys
 import time
 from typing import List
 
+import numpy as np
+
 from repro.adversary.strategies import GreedyJoinAdversary
 from repro.experiments import figure8
 from repro.experiments.config import Figure8Config
 from repro.experiments.parallel import parse_jobs
-from repro.sim.engine import Simulation, SimulationConfig
-from repro.sim.events import GoodJoin
+from repro.sim import engine
+from repro.sim.blocks import ChurnBlock
+from repro.sim.engine import PATH_COUNTERS, Simulation, SimulationConfig
 from repro.sim.null_defense import NullDefense
 
 
-def churn_events(n_joins: int, horizon: float) -> List[GoodJoin]:
+def churn_block(n_joins: int, horizon: float) -> ChurnBlock:
     """A deterministic join trace with sessions ~50 inter-arrival times."""
     step = horizon / n_joins
-    session = 50.0 * step
-    return [
-        GoodJoin(time=(i + 1) * step, ident=f"g{i}", session=session)
-        for i in range(n_joins)
-    ]
+    times = (np.arange(n_joins) + 1) * step
+    kinds = np.zeros(n_joins, dtype=np.uint8)
+    sessions = np.full(n_joins, 50.0 * step)
+    return ChurnBlock(times, kinds, sessions=sessions)
 
 
 def engine_throughput(n_joins: int = 20_000, horizon: float = 5_000.0,
-                      repeats: int = 3) -> dict:
-    """Best-of-N events/sec for the engine-loop workload."""
-    best_eps = 0.0
-    events = 0
-    for _ in range(repeats):
-        sim = Simulation(
-            SimulationConfig(horizon=horizon, tick_interval=1.0, seed=1),
-            NullDefense(),
-            churn_events(n_joins, horizon),
-            adversary=GreedyJoinAdversary(rate=0.5),
+                      repeats: int = 5) -> dict:
+    """Best-of-N events/sec for the engine-loop workload, both paths."""
+    block = churn_block(n_joins, horizon)
+    report = {}
+    for label, fast in (("engine_events_per_sec", True),
+                        ("engine_events_per_sec_heap", False)):
+        best_eps = 0.0
+        events = 0
+        for _ in range(repeats):
+            sim = Simulation(
+                SimulationConfig(
+                    horizon=horizon, tick_interval=1.0, seed=1,
+                    churn_fast_path=fast,
+                ),
+                NullDefense(),
+                [block],
+                adversary=GreedyJoinAdversary(rate=0.5),
+            )
+            start = time.perf_counter()
+            result = sim.run()
+            elapsed = time.perf_counter() - start
+            events = (
+                result.counters["queue_pops"]
+                + result.counters["churn_events_fast"]
+            )
+            best_eps = max(best_eps, events / elapsed)
+        report[label] = round(best_eps)
+        if fast:
+            report["engine_events"] = events
+            report["engine_queue_max_size"] = result.counters["queue_max_size"]
+            report["engine_churn_fast"] = result.counters["churn_events_fast"]
+            assert result.counters["churn_events_fast"] == n_joins, (
+                "fast path did not engage for the block workload"
+            )
+        else:
+            assert result.counters["churn_events_fast"] == 0, (
+                "fast path ran with churn_fast_path=False"
+            )
+    report["engine_fastpath_speedup"] = round(
+        report["engine_events_per_sec"] / report["engine_events_per_sec_heap"], 2
+    )
+    return report
+
+
+def strip_path_counters(rows):
+    """Rows reduced to simulated quantities only (for path A/B checks)."""
+    stripped = []
+    for row in rows:
+        counters = {
+            k: v for k, v in row.counters.items() if k not in PATH_COUNTERS
+        }
+        stripped.append(
+            (
+                row.network,
+                row.defense,
+                row.t_rate,
+                row.good_spend_rate,
+                row.adversary_spend_rate,
+                row.max_bad_fraction,
+                row.final_size,
+                counters,
+            )
         )
-        start = time.perf_counter()
-        result = sim.run()
-        elapsed = time.perf_counter() - start
-        events = result.counters["queue_pops"]
-        best_eps = max(best_eps, events / elapsed)
-    return {
-        "engine_events": events,
-        "engine_events_per_sec": round(best_eps),
-        "engine_queue_max_size": result.counters["queue_max_size"],
-    }
+    return stripped
 
 
-def sweep_times(config: Figure8Config, jobs: int) -> dict:
-    """Serial vs parallel wall time for the same sweep, plus row equality."""
+def fastpath_equivalence(config: Figure8Config):
+    """Quick sweep with the fast path on vs off: rows must match.
+
+    Returns the report fields plus the timed fast-path serial run, which
+    :func:`sweep_times` reuses as its serial baseline (so each bench
+    invocation pays two serial sweeps, not three).
+    """
     start = time.perf_counter()
-    serial_rows = figure8.run(config, jobs=1)
+    rows_fast = figure8.run(config, jobs=1)
     serial_s = time.perf_counter() - start
+    prev = engine.FAST_PATH_DEFAULT
+    engine.FAST_PATH_DEFAULT = False
+    try:
+        rows_heap = figure8.run(config, jobs=1)
+    finally:
+        engine.FAST_PATH_DEFAULT = prev
+    report = {
+        "sweep_fastpath_rows_identical": (
+            strip_path_counters(rows_fast) == strip_path_counters(rows_heap)
+        ),
+    }
+    return report, rows_fast, serial_s
+
+
+def sweep_times(config: Figure8Config, jobs: int,
+                serial_rows, serial_s: float) -> dict:
+    """Serial vs parallel wall time for the same sweep, plus row equality.
+
+    The comparison is only meaningful when the machine can actually run
+    ``jobs`` workers; on fewer cores the parallel run just adds IPC and
+    scheduling overhead, so it is skipped and marked as such.
+    """
+    cpu_count = os.cpu_count() or 1
+    serial_s = round(serial_s, 3)
+    if jobs > cpu_count:
+        return {
+            "sweep_points": len(serial_rows),
+            "sweep_serial_s": serial_s,
+            "sweep_parallel_s": None,
+            "sweep_jobs": jobs,
+            "sweep_speedup": None,
+            "sweep_comparison": "skipped (insufficient cores)",
+            "sweep_rows_identical": None,
+        }
 
     start = time.perf_counter()
     parallel_rows = figure8.run(config, jobs=jobs)
@@ -81,10 +182,11 @@ def sweep_times(config: Figure8Config, jobs: int) -> dict:
 
     return {
         "sweep_points": len(serial_rows),
-        "sweep_serial_s": round(serial_s, 3),
+        "sweep_serial_s": serial_s,
         "sweep_parallel_s": round(parallel_s, 3),
         "sweep_jobs": jobs,
         "sweep_speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "sweep_comparison": "ok",
         "sweep_rows_identical": parallel_rows == serial_rows,
     }
 
@@ -102,7 +204,9 @@ def main(argv: List[str] = None) -> dict:
         )
     report = {"cpu_count": os.cpu_count()}
     report.update(engine_throughput())
-    report.update(sweep_times(config, jobs))
+    equivalence, serial_rows, serial_s = fastpath_equivalence(config)
+    report.update(equivalence)
+    report.update(sweep_times(config, jobs, serial_rows, serial_s))
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     for i, arg in enumerate(args):

@@ -73,6 +73,14 @@ class Remp(Defense):
         self.population.good_depart(victim)
         return victim
 
+    def process_good_join_batch(self, times, idents=None) -> list:
+        """Batched joins: flat 1-hard charge (recurring costs are a
+        scheduled callback, so join runs have no other bookkeeping)."""
+        return self._flat_cost_join_batch(times, idents, 1.0)
+
+    #: Departures are select + remove with no bookkeeping.
+    process_good_departure_batch = Defense._removal_departure_batch
+
     def process_bad_join_batch(self, budget: float) -> Tuple[int, float]:
         batch = int(budget)  # flat cost of 1 per join
         if batch <= 0:

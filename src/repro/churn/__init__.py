@@ -25,9 +25,13 @@ from repro.churn.datasets import (
 )
 from repro.churn.epochs import Epoch, EpochTracker, find_epochs
 from repro.churn.generators import (
+    modulated_join_blocks,
+    modulated_join_stream,
+    poisson_join_blocks,
     poisson_join_stream,
     smooth_trace,
 )
+from repro.sim.blocks import ChurnBlock, blocks_from_events, events_from_blocks
 from repro.churn.sessions import (
     EquilibriumResidualSampler,
     ExponentialSessions,
@@ -38,6 +42,7 @@ from repro.churn.traces import ChurnScenario, InitialMember, TraceStats, trace_s
 
 __all__ = [
     "AbcParameters",
+    "ChurnBlock",
     "ChurnScenario",
     "Epoch",
     "EpochTracker",
@@ -51,10 +56,15 @@ __all__ = [
     "WeibullSessions",
     "bitcoin",
     "bittorrent",
+    "blocks_from_events",
     "ethereum",
+    "events_from_blocks",
     "find_epochs",
     "gnutella",
     "minimum_n0",
+    "modulated_join_blocks",
+    "modulated_join_stream",
+    "poisson_join_blocks",
     "poisson_join_stream",
     "smooth_trace",
     "trace_stats",

@@ -27,7 +27,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.churn.generators import poisson_join_stream
+from repro.churn.generators import DEFAULT_BLOCK_SIZE, poisson_join_blocks
 from repro.churn.sessions import (
     EquilibriumResidualSampler,
     ExponentialSessions,
@@ -62,6 +62,7 @@ class NetworkModel:
         n0: Optional[int] = None,
         materialize: bool = True,
         equilibrium: bool = True,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> ChurnScenario:
         """Build a runnable scenario: initial population + join stream.
 
@@ -71,6 +72,12 @@ class NetworkModel:
         fresh full session at t = 0, matching the paper's simulation
         setup of "initializing with 10,000 IDs" (Section 10.2) -- with
         heavy-tailed sessions this front-loads departures.
+
+        The join stream is produced in block mode (struct-of-arrays
+        :class:`~repro.sim.blocks.ChurnBlock` batches of ``block_size``
+        rows): the engine applies it through its zero-heap fast path,
+        and per-event consumers go through ``scenario.replay()``, which
+        expands blocks transparently.
         """
         size = n0 if n0 is not None else self.n0
         if equilibrium:
@@ -86,11 +93,12 @@ class NetworkModel:
         # population so the system stays near its starting size; the
         # paper's rates are tied to its n0.
         rate = self.steady_state_rate() * (size / self.n0)
-        events = poisson_join_stream(
+        events = poisson_join_blocks(
             rate=rate,
             session_dist=self.sessions,
             rng=rng,
             horizon=horizon,
+            block_size=block_size,
         )
         scenario = ChurnScenario(
             name=self.name,

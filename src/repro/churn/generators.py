@@ -2,8 +2,8 @@
 
 Two families:
 
-* **Measurement-style generators** (:func:`poisson_join_stream`,
-  :func:`modulated_join_stream`): joins arrive by a (possibly
+* **Measurement-style generators** (:func:`poisson_join_blocks`,
+  :func:`modulated_join_blocks`): joins arrive by a (possibly
   inhomogeneous) Poisson process and each joiner carries a session
   duration sampled from a network's session distribution.  Departures
   happen when sessions expire -- the engine schedules them.  This is how
@@ -13,6 +13,16 @@ Two families:
   laid out to satisfy α,β-smoothness *by construction*, with a planned
   sequence of epoch rates.  Used by property tests that compare
   GoodJEst's estimate against the Theorem-2 envelope for known (α, β).
+
+The measurement-style generators are **block-mode**: they precompute
+churn as struct-of-arrays :class:`~repro.sim.blocks.ChurnBlock` batches
+(``times`` via one vectorized cumulative sum of exponential gaps per
+block, ``sessions`` via one vectorized distribution draw) instead of
+yielding one ``Event`` object per ID.  The historical per-event
+iterators (:func:`poisson_join_stream`, :func:`modulated_join_stream`)
+are kept as thin adapters over the blocks, so per-event call sites keep
+working; the engine consumes the blocks directly through its zero-heap
+fast path.
 """
 
 from __future__ import annotations
@@ -22,8 +32,56 @@ from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.churn.sessions import SessionDistribution
+from repro.churn.sessions import SessionDistribution, sample_session_array
+from repro.sim.blocks import JOIN, ChurnBlock, events_from_blocks
 from repro.sim.events import Event, GoodDeparture, GoodJoin
+
+#: Rows per generated block.  Big enough to amortize the vectorized RNG
+#: draws and the per-block Python overhead, small enough that lazily
+#: consumed sources stay lazy (a horizon cutoff wastes at most one
+#: block of draws).
+DEFAULT_BLOCK_SIZE = 4096
+
+
+def poisson_join_blocks(
+    rate: float,
+    session_dist: SessionDistribution,
+    rng: np.random.Generator,
+    horizon: Optional[float] = None,
+    start: float = 0.0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Iterator[ChurnBlock]:
+    """Homogeneous Poisson joins at ``rate`` per second, as churn blocks.
+
+    Each block draws ``block_size`` exponential inter-arrival gaps and
+    the matching session durations in two vectorized calls; arrival
+    times are the running cumulative sum.  With ``horizon=None`` the
+    stream is unbounded (consume lazily!).
+    """
+    if rate <= 0:
+        return
+    if block_size <= 0:
+        raise ValueError(f"block size must be positive: {block_size}")
+    scale = 1.0 / rate
+    now = start
+    kinds = np.zeros(block_size, dtype=np.uint8)
+    while True:
+        gaps = rng.exponential(scale, size=block_size)
+        times = now + np.cumsum(gaps)
+        if horizon is not None:
+            keep = int(np.searchsorted(times, horizon, side="right"))
+            if keep == 0:
+                return
+            if keep < block_size:
+                yield ChurnBlock(
+                    times[:keep],
+                    kinds[:keep],
+                    sessions=sample_session_array(session_dist, rng, keep),
+                )
+                return
+        sessions = sample_session_array(session_dist, rng, block_size)
+        yield ChurnBlock(times, kinds, sessions=sessions)
+        now = float(times[-1])
 
 
 def poisson_join_stream(
@@ -33,15 +91,62 @@ def poisson_join_stream(
     horizon: Optional[float] = None,
     start: float = 0.0,
 ) -> Iterator[GoodJoin]:
-    """Homogeneous Poisson joins at ``rate`` per second, with sessions."""
-    if rate <= 0:
-        return
+    """Per-event adapter over :func:`poisson_join_blocks`."""
+    return events_from_blocks(
+        poisson_join_blocks(
+            rate, session_dist, rng, horizon=horizon, start=start
+        )
+    )
+
+
+def modulated_join_blocks(
+    rate_fn: Callable[[float], float],
+    max_rate: float,
+    session_dist: SessionDistribution,
+    rng: np.random.Generator,
+    horizon: float,
+    start: float = 0.0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Iterator[ChurnBlock]:
+    """Inhomogeneous Poisson joins via thinning, as churn blocks.
+
+    ``rate_fn(t)`` must never exceed ``max_rate``; candidate arrivals are
+    generated at ``max_rate`` (vectorized per block) and kept with
+    probability ``rate_fn(t)/max_rate``.  ``rate_fn`` itself is an
+    arbitrary Python callable, so it is evaluated per candidate; the RNG
+    draws (gaps, acceptance uniforms, sessions) are all vectorized.
+    """
+    if max_rate <= 0:
+        raise ValueError(f"max_rate must be positive: {max_rate}")
+    if block_size <= 0:
+        raise ValueError(f"block size must be positive: {block_size}")
+    scale = 1.0 / max_rate
+    bound = max_rate + 1e-9
     now = start
     while True:
-        now += float(rng.exponential(1.0 / rate))
-        if horizon is not None and now > horizon:
+        gaps = rng.exponential(scale, size=block_size)
+        times = now + np.cumsum(gaps)
+        accept = rng.random(block_size)
+        keep = int(np.searchsorted(times, horizon, side="right"))
+        done = keep < block_size
+        kept_times: List[float] = []
+        for i in range(keep):
+            t = float(times[i])
+            rate = rate_fn(t)
+            if rate < 0 or rate > bound:
+                raise ValueError(f"rate_fn({t}) = {rate} outside [0, {max_rate}]")
+            if accept[i] < rate / max_rate:
+                kept_times.append(t)
+        if kept_times:
+            n = len(kept_times)
+            yield ChurnBlock(
+                kept_times,
+                np.full(n, JOIN, dtype=np.uint8),
+                sessions=sample_session_array(session_dist, rng, n),
+            )
+        if done:
             return
-        yield GoodJoin(time=now, session=session_dist.sample(rng))
+        now = float(times[-1])
 
 
 def modulated_join_stream(
@@ -52,24 +157,12 @@ def modulated_join_stream(
     horizon: float,
     start: float = 0.0,
 ) -> Iterator[GoodJoin]:
-    """Inhomogeneous Poisson joins via thinning (e.g. diurnal patterns).
-
-    ``rate_fn(t)`` must never exceed ``max_rate``; candidate arrivals are
-    generated at ``max_rate`` and kept with probability
-    ``rate_fn(t)/max_rate``.
-    """
-    if max_rate <= 0:
-        raise ValueError(f"max_rate must be positive: {max_rate}")
-    now = start
-    while True:
-        now += float(rng.exponential(1.0 / max_rate))
-        if now > horizon:
-            return
-        rate = rate_fn(now)
-        if rate < 0 or rate > max_rate + 1e-9:
-            raise ValueError(f"rate_fn({now}) = {rate} outside [0, {max_rate}]")
-        if rng.random() < rate / max_rate:
-            yield GoodJoin(time=now, session=session_dist.sample(rng))
+    """Per-event adapter over :func:`modulated_join_blocks`."""
+    return events_from_blocks(
+        modulated_join_blocks(
+            rate_fn, max_rate, session_dist, rng, horizon, start=start
+        )
+    )
 
 
 def diurnal_rate(base_rate: float, amplitude: float, period: float = 86_400.0):
@@ -105,7 +198,9 @@ def smooth_trace(
     inverse); callers pick ``epoch_rates`` accordingly.
 
     Returns a flat, time-ordered event list.  Departures reference
-    explicit idents; joins carry idents ``e{epoch}-j{index}``.
+    explicit idents; joins carry idents ``e{epoch}-j{index}``.  Pack it
+    with :func:`repro.sim.blocks.blocks_from_events` to feed the
+    engine's batched fast path.
     """
     if n0 < 4:
         raise ValueError(f"n0 too small for a smooth trace: {n0}")

@@ -20,7 +20,13 @@ import numpy as np
 
 
 class SessionDistribution(Protocol):
-    """Anything that can sample session lengths and report its shape."""
+    """Anything that can sample session lengths and report its shape.
+
+    Distributions may additionally provide ``sample_array(rng, n)`` for
+    vectorized draws; block-mode churn generators use
+    :func:`sample_session_array`, which falls back to an n-draw loop for
+    distributions that only implement :meth:`sample`.
+    """
 
     def sample(self, rng: np.random.Generator) -> float:
         """One session duration, in seconds."""
@@ -33,6 +39,18 @@ class SessionDistribution(Protocol):
     def survival(self, x: float) -> float:
         """P(session > x)."""
         ...
+
+
+def sample_session_array(
+    dist, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """``n`` vectorized session draws, looping only when unavoidable."""
+    if n < 0:
+        raise ValueError(f"negative sample count: {n}")
+    sample_array = getattr(dist, "sample_array", None)
+    if sample_array is not None:
+        return sample_array(rng, n)
+    return np.asarray([dist.sample(rng) for _ in range(n)], dtype=np.float64)
 
 
 class WeibullSessions:
@@ -51,6 +69,9 @@ class WeibullSessions:
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.scale * float(rng.weibull(self.shape))
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size=n)
 
     def mean(self) -> float:
         return self.scale * math.gamma(1.0 + 1.0 / self.shape)
@@ -75,6 +96,9 @@ class ExponentialSessions:
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self._mean))
 
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
+
     def mean(self) -> float:
         return self._mean
 
@@ -98,6 +122,9 @@ class LogNormalSessions:
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
 
     def mean(self) -> float:
         return math.exp(self.mu + self.sigma**2 / 2.0)

@@ -1,4 +1,13 @@
-"""Materialized churn traces: containers, statistics, CSV round-trips."""
+"""Materialized churn traces: containers, statistics, CSV round-trips.
+
+A scenario's ``events`` may be classic per-event objects *or*
+struct-of-arrays :class:`~repro.sim.blocks.ChurnBlock` batches (the
+block form is what the network models produce and the engine's fast
+path consumes).  Everything here that inspects individual events
+(:meth:`ChurnScenario.replay`, :func:`trace_stats`,
+:func:`save_trace_csv`) transparently expands blocks, so per-event
+consumers keep working either way.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
+from repro.sim.blocks import flatten_churn as _iter_flat
 from repro.sim.events import Event, GoodDeparture, GoodJoin
 
 
@@ -23,13 +33,14 @@ class ChurnScenario:
     """An initial population plus a stream of good-churn events.
 
     ``events`` may be a list (replayable) or a lazy iterator (single
-    use); :meth:`materialize` forces a list so the scenario can be fed
-    to several defenses for apples-to-apples comparisons.
+    use) of events and/or churn blocks; :meth:`materialize` forces a
+    list so the scenario can be fed to several defenses for
+    apples-to-apples comparisons.
     """
 
     name: str
     initial: List[InitialMember]
-    events: Union[Sequence[Event], Iterator[Event]]
+    events: Union[Sequence, Iterator]
     description: str = ""
 
     def materialize(self) -> "ChurnScenario":
@@ -38,10 +49,10 @@ class ChurnScenario:
         return self
 
     def replay(self) -> Iterator[Event]:
-        """Iterate events; requires a materialized scenario."""
+        """Iterate per-event objects; requires a materialized scenario."""
         if not isinstance(self.events, list):
             raise TypeError("call materialize() before replaying a scenario")
-        return iter(self.events)
+        return _iter_flat(self.events)
 
 
 @dataclass
@@ -65,13 +76,13 @@ class TraceStats:
         return self.joins / self.duration
 
 
-def trace_stats(events: Iterable[Event]) -> TraceStats:
-    """Compute joins/departures/rates for an event sequence."""
+def trace_stats(events: Iterable) -> TraceStats:
+    """Compute joins/departures/rates for an event or block sequence."""
     stats = TraceStats()
     sessions: List[float] = []
     first: Optional[float] = None
     last = 0.0
-    for event in events:
+    for event in _iter_flat(events):
         if first is None:
             first = event.time
         last = max(last, event.time)
@@ -88,12 +99,12 @@ def trace_stats(events: Iterable[Event]) -> TraceStats:
     return stats
 
 
-def save_trace_csv(path: Union[str, Path], events: Sequence[Event]) -> None:
-    """Write a trace as ``time,kind,ident,session`` rows."""
+def save_trace_csv(path: Union[str, Path], events: Sequence) -> None:
+    """Write a trace (events or blocks) as ``time,kind,ident,session`` rows."""
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["time", "kind", "ident", "session"])
-        for event in events:
+        for event in _iter_flat(events):
             if isinstance(event, GoodJoin):
                 writer.writerow(
                     [f"{event.time:.6f}", "join", event.ident or "", event.session or ""]

@@ -182,6 +182,53 @@ class Ergo(Defense):
         self.sim.metrics.counters.add("good_abandoned")
         return None
 
+    def process_good_join_batch(self, times, idents=None) -> list:
+        """Batched good joins: the per-ID loop minus provably dead work.
+
+        Equivalent to looping :meth:`process_good_join` row by row --
+        same window queries/records, charges, GoodJEst updates, and
+        purge checks in the same order -- except the per-row
+        ``_observe_fraction`` is dropped: across a pure join run the bad
+        fraction is non-increasing (bad count fixed, system growing;
+        purges only lower it further), so the pre-batch peak already
+        dominates every intermediate value.  Pricing goes through the
+        virtual :meth:`quote_entrance_cost` (the clock is advanced to
+        each row's time first), so subclasses overriding the quote --
+        CCom's flat 1, experiment variants -- keep their pricing on the
+        fast path.  Classifier runs (ERGO-SF) fall back to the generic
+        loop, which handles retries.
+        """
+        if self.config.classifier is not None:
+            return super().process_good_join_batch(times, idents)
+        clock = self.sim.clock
+        window = self._window
+        issue = self.ids.issue
+        charge = self.accountant.charge_good
+        good_join = self.population.good_join
+        goodjest = self.goodjest
+        quote = self.quote_entrance_cost
+        admitted = []
+        append = admitted.append
+        for i, t in enumerate(times):
+            clock._now = t
+            cost = quote()
+            proposed = idents[i] if idents is not None else None
+            unique = issue(proposed if proposed is not None else "g")
+            charge(unique, cost, "entrance")
+            good_join(unique, t)
+            window.record(t, 1)
+            self._joins_in_iter += 1
+            self._event_counter += 1
+            if goodjest.on_event(t):
+                window.set_width(self._window_width())
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        t, "estimate_update", estimate=goodjest.estimate
+                    )
+            self._maybe_purge(t)
+            append(unique)
+        return admitted
+
     def process_good_departure(self, ident: Optional[str] = None) -> Optional[str]:
         victim = self._select_departing_good(ident)
         if victim is None:

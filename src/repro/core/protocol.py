@@ -110,6 +110,113 @@ class Defense(abc.ABC):
         """Adversary-scheduled departure of one of its IDs (aggregate)."""
         self.population.bad.evict_newest(1)
 
+    # ------------------------------------------------------------------
+    # batch hooks (the engine's zero-heap fast path)
+    # ------------------------------------------------------------------
+    # The engine hands runs of good-churn rows to these hooks instead of
+    # dispatching one event at a time.  Contract:
+    #
+    # * ``times`` is non-decreasing and every row precedes the next heap
+    #   event, the adversary's wake time, and the next metrics sample --
+    #   nothing else happens "inside" a batch.
+    # * The defaults loop over the per-ID hooks, advancing the clock to
+    #   each row's time, so overriding is purely an optimization.
+    # * An override MUST be observably equivalent to that loop (same
+    #   charges, same population mutations in the same order, same
+    #   purge/iteration decisions); it may only amortize work whose
+    #   per-row result is provably unchanged -- e.g. skipping a
+    #   peak-bad-fraction check while the fraction is monotone across
+    #   the run, or merging same-time SlidingWindowCounter records.
+    #   Equivalence is enforced by tests/test_engine_fastpath.py.
+
+    def process_good_join_batch(self, times, idents=None) -> list:
+        """Handle a time-sorted run of good join attempts.
+
+        ``idents`` is a parallel sequence of proposed names (``None``
+        entries -- or ``idents=None`` for the whole run -- mean the
+        defense picks the name).  Returns one admitted unique ident (or
+        ``None`` if refused) per row; the engine schedules session
+        departures for the admitted ones.
+        """
+        clock = self.sim.clock
+        join = self.process_good_join
+        admitted = []
+        append = admitted.append
+        if idents is None:
+            for t in times:
+                clock._now = t
+                append(join(None))
+        else:
+            for t, ident in zip(times, idents):
+                clock._now = t
+                append(join(ident))
+        return admitted
+
+    def process_good_departure_batch(self, times, idents=None) -> None:
+        """Handle a time-sorted run of good departures.
+
+        ``idents`` entries of ``None`` (or ``idents=None``) select the
+        victim uniformly at random, as in the per-ID hook.
+        """
+        clock = self.sim.clock
+        depart = self.process_good_departure
+        if idents is None:
+            for t in times:
+                clock._now = t
+                depart(None)
+        else:
+            for t, ident in zip(times, idents):
+                clock._now = t
+                depart(ident)
+
+    # -- shared override bodies for flat-cost defenses ------------------
+    def _flat_cost_join_batch(self, times, idents, cost: float) -> list:
+        """Batched joins for defenses whose join is issue/charge/admit.
+
+        Observably equivalent to the default loop for any defense whose
+        ``process_good_join`` charges a flat ``cost`` and does no other
+        bookkeeping (SybilControl, REMP): each row uses its own
+        timestamp, and per-ID ledger entries are preserved.
+        """
+        issue = self.ids.issue
+        charge = self.accountant.charge_good
+        good_join = self.population.good_join
+        admitted = []
+        append = admitted.append
+        if idents is None:
+            for t in times:
+                unique = issue("g")
+                charge(unique, cost, "entrance")
+                good_join(unique, t)
+                append(unique)
+        else:
+            for t, ident in zip(times, idents):
+                unique = issue(ident if ident is not None else "g")
+                charge(unique, cost, "entrance")
+                good_join(unique, t)
+                append(unique)
+        return admitted
+
+    def _removal_departure_batch(self, times, idents=None) -> None:
+        """Batched departures by direct membership removal.
+
+        Observably equivalent to the default loop for any defense whose
+        ``process_good_departure`` is select-victim + remove with no
+        other bookkeeping: a named victim that already left is a no-op
+        either way, and unnamed victims fall back to the per-ID hook so
+        the uniform random draw order matches the per-event path.
+        """
+        if idents is None:
+            Defense.process_good_departure_batch(self, times, idents)
+            return
+        remove = self.population.good.remove
+        depart = self.process_good_departure
+        for ident in idents:
+            if ident is None:
+                depart(None)
+            else:
+                remove(ident)
+
     def on_tick(self, now: float) -> None:
         """Periodic housekeeping (default: none)."""
 

@@ -30,6 +30,7 @@ Design constraints:
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -174,20 +175,43 @@ def execute(
     return parallel_map(run_spec, tasks, jobs=jobs, star=True)
 
 
-def parallel_map(fn: Callable, items: Sequence, jobs: int = 1, star: bool = False) -> List:
+def default_chunksize(n_items: int, jobs: int) -> int:
+    """Points per IPC round-trip when fanning a sweep over workers.
+
+    One future per point means one pickle/unpickle and one executor
+    wake-up per point -- measurable overhead when points ≫ workers (the
+    quick sweeps have dozens of sub-second points).  Chunking amortizes
+    that; four chunks per worker keeps the tail balanced when point
+    runtimes vary.
+    """
+    return max(1, math.ceil(n_items / (jobs * 4)))
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    star: bool = False,
+    chunksize: Optional[int] = None,
+) -> List:
     """Order-preserving (optionally process-parallel) map.
 
     For experiment harnesses whose per-point result is not a
     :class:`SweepResult` (figure 9 cells, ablations).  ``fn`` must be a
     module-level callable and every item picklable; ``star=True``
-    unpacks each item as ``fn(*item)``.
+    unpacks each item as ``fn(*item)``.  Items are submitted to the pool
+    in chunks (:func:`default_chunksize` unless overridden) to cut
+    per-point IPC overhead.
     """
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(items) <= 1:
         return [fn(*item) if star else fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        futures = [
-            pool.submit(fn, *item) if star else pool.submit(fn, item)
-            for item in items
-        ]
-        return [future.result() for future in futures]
+    jobs = min(jobs, len(items))
+    if chunksize is None:
+        chunksize = default_chunksize(len(items), jobs)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        if star:
+            results = pool.map(fn, *zip(*items), chunksize=chunksize)
+        else:
+            results = pool.map(fn, items, chunksize=chunksize)
+        return list(results)

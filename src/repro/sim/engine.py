@@ -2,8 +2,9 @@
 
 The driver wires together four roles:
 
-* a **churn source** (an iterator of good-ID :class:`~repro.sim.events`
-  events, typically produced by :mod:`repro.churn.generators`),
+* a **churn source** (per-event :class:`~repro.sim.events` iterables or
+  struct-of-arrays :class:`~repro.sim.blocks.ChurnBlock` streams,
+  typically produced by :mod:`repro.churn.generators`),
 * a **defense** (Ergo, CCom, SybilControl, REMP, ... -- anything
   implementing :class:`repro.core.protocol.Defense`),
 * an **adversary** (a :class:`repro.adversary.base.Adversary` deciding
@@ -18,19 +19,36 @@ of the trace.
 
 Hot-path design (this loop runs millions of times per sweep):
 
-* **Lazy ticks** -- a single recurring ``Tick`` is re-armed as it fires
-  instead of pre-scheduling ``horizon / tick_interval`` events up front,
-  so the heap stays shallow (cheaper pushes/pops) and memory stays O(1)
-  in the horizon.
+* **Zero-heap block fast path** -- when the churn source yields
+  ``ChurnBlock`` batches, runs of good-churn rows that all precede the
+  next heap entry, the adversary's wake time, and the next metrics
+  sample are applied straight from the block through the defense batch
+  hooks (:meth:`~repro.core.protocol.Defense.process_good_join_batch` /
+  ``process_good_departure_batch``): no ``Event`` allocation, no heap
+  push/pop.  Batch boundaries are chosen so the observable event order
+  is *identical* to the per-event path (see :meth:`Simulation.run`).
+* **Tuple-backed session departures** -- a departure the engine
+  schedules for an admitted joiner is stored in the heap as a bare
+  ident string rather than a frozen ``GoodDeparture`` dataclass, and
+  consecutive departures at the heap front are drained as one batch.
+* **Lazy ticks** -- a single recurring tick sentinel is re-armed as it
+  fires instead of pre-scheduling ``horizon / tick_interval`` events up
+  front, so the heap stays shallow and memory stays O(1) in the
+  horizon.
 * **Handler-table dispatch** -- events are routed through a dict keyed
   on the event class rather than an ``isinstance`` chain.
 * **Adversary wake-ups** -- the adversary's
   :meth:`~repro.adversary.base.Adversary.next_wake` tells the engine the
   earliest time another ``act`` call could matter, so strategies that
   are out of budget (or passive) are not invoked on every event.
-* **Single-event churn lookahead** -- at most one pending churn event is
-  held outside the heap, so unbounded generators are consumed lazily
-  and far-future events are not pushed early.
+* **Single-event churn lookahead** -- in per-event mode, at most one
+  pending churn event is held outside the heap, so unbounded generators
+  are consumed lazily and far-future events are not pushed early.
+
+Path accounting: ``churn_events_fast`` counts good-churn rows applied
+via the block fast path; ``churn_events_heap`` counts churn events
+(good joins/departures, bad departures) dispatched from the heap.
+Benchmarks assert on these to verify the fast path actually engages.
 """
 
 from __future__ import annotations
@@ -38,8 +56,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
+from repro.sim.blocks import ChurnBlock, flatten_churn
 from repro.sim.clock import Clock
 from repro.sim.events import (
     BadDeparture,
@@ -59,6 +78,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 #: ``Tick`` events run after any same-time protocol event.
 TICK_PRIORITY = 10
 
+#: Module-level default for :attr:`SimulationConfig.churn_fast_path`
+#: (``None`` in the config resolves to this).  Benchmarks flip it to
+#: A/B the block fast path against the per-event path process-wide.
+FAST_PATH_DEFAULT = True
+
+#: Counter keys that describe *how* events were processed (heap traffic,
+#: fast-vs-heap split) rather than the simulated trajectory.  These are
+#: the only counters allowed to differ between the fast path and the
+#: per-event path; equivalence checks strip them before comparing rows.
+PATH_COUNTERS = (
+    "queue_pushes",
+    "queue_pops",
+    "queue_max_size",
+    "churn_events_fast",
+    "churn_events_heap",
+)
+
+_INF = float("inf")
+
+
+class _TickMarker:
+    """Heap sentinel for the engine's recurring tick (no per-fire alloc)."""
+
+    __slots__ = ()
+
+
+_TICK = _TickMarker()
+
 
 class EventQueue:
     """A priority queue of events ordered by ``(time, priority, seq)``.
@@ -66,6 +113,11 @@ class EventQueue:
     ``priority`` breaks ties at equal times (lower runs first); ``seq`` is
     a monotone counter providing the deterministic total order that the
     ABC model's "server orders simultaneous events" assumption requires.
+
+    Besides :class:`~repro.sim.events.Event` objects the heap carries two
+    engine-internal payloads: bare ident strings (session departures
+    scheduled for admitted joiners) and the tick sentinel.  Both exist to
+    avoid a frozen-dataclass allocation per scheduled item.
 
     The queue counts its own traffic (``pushes``, ``pops``, ``max_size``)
     so benchmarks and tests can verify scheduling changes -- e.g. that
@@ -75,7 +127,7 @@ class EventQueue:
     __slots__ = ("_heap", "_seq", "pushes", "pops", "max_size")
 
     def __init__(self) -> None:
-        self._heap: list[Tuple[float, int, int, Event]] = []
+        self._heap: list = []
         self._seq = itertools.count()
         #: total events ever pushed / popped, and the high-water mark of
         #: resident heap entries (all exposed via ``MetricSet.counters``
@@ -84,14 +136,22 @@ class EventQueue:
         self.pops = 0
         self.max_size = 0
 
-    def push(self, event: Event, priority: int = 0) -> None:
+    def push_entry(self, time: float, priority: int, item) -> None:
+        """Schedule an arbitrary payload (event, ident string, sentinel)."""
         heap = self._heap
-        heapq.heappush(heap, (event.time, priority, next(self._seq), event))
+        heapq.heappush(heap, (time, priority, next(self._seq), item))
         self.pushes += 1
         if len(heap) > self.max_size:
             self.max_size = len(heap)
 
-    def pop(self) -> Event:
+    def push(self, event: Event, priority: int = 0) -> None:
+        self.push_entry(event.time, priority, event)
+
+    def push_departure(self, time: float, ident: str) -> None:
+        """Schedule a session departure for ``ident`` (tuple-backed)."""
+        self.push_entry(time, 0, ident)
+
+    def pop(self):
         if not self._heap:
             raise IndexError("pop from empty event queue")
         self.pops += 1
@@ -118,6 +178,10 @@ class SimulationConfig:
     seed: int = 0
     #: record bad-fraction / system-size samples every this many seconds
     sample_interval: float = 50.0
+    #: apply block-mode churn through the zero-heap fast path.  ``None``
+    #: resolves to :data:`FAST_PATH_DEFAULT`; ``False`` expands blocks
+    #: into per-event objects (the A/B baseline for equivalence tests).
+    churn_fast_path: Optional[bool] = None
 
 
 @dataclass
@@ -149,7 +213,7 @@ class Simulation:
         self,
         config: SimulationConfig,
         defense: "Defense",
-        churn: Iterable[Event],
+        churn: Iterable,
         adversary: Optional["Adversary"] = None,
         rngs: Optional[RngRegistry] = None,
         initial_members: Optional[Iterable] = None,
@@ -161,10 +225,22 @@ class Simulation:
         self.rngs = rngs if rngs is not None else RngRegistry(config.seed)
         self.defense = defense
         self.adversary = adversary
-        self._churn: Iterator[Event] = iter(churn)
+        #: raw churn iterator; may yield ``Event`` objects *or*
+        #: ``ChurnBlock`` batches -- the first item decides the mode.
+        self._churn: Iterator = iter(churn)
         self._churn_done = False
-        #: at most one churn event held back until the frontier reaches it
+        #: ``None`` until the first run() sniffs the source; then
+        #: ``"events"`` or ``"blocks"``.
+        self._churn_mode: Optional[str] = None
+        #: at most one churn event held back until the frontier reaches
+        #: it (per-event mode)
         self._pending_churn: Optional[Event] = None
+        #: current block's rows as plain lists + cursor (block mode)
+        self._block_times: Optional[list] = None
+        self._block_kinds: Optional[list] = None
+        self._block_sessions: Optional[list] = None
+        self._block_idents: Optional[list] = None
+        self._block_index = 0
         self._initial_members = list(initial_members) if initial_members else []
         self._next_sample = 0.0
         #: earliest time another adversary.act() call could matter
@@ -174,12 +250,17 @@ class Simulation:
         #: counter bump on the per-event path)
         self._good_join_events = 0
         self._good_departure_events = 0
+        self._bad_departure_events = 0
+        #: good-churn rows applied via the zero-heap block fast path
+        self._fast_churn_events = 0
         self._handlers: dict = {
             GoodJoin: self._handle_good_join,
             GoodDeparture: self._handle_good_departure,
             BadDeparture: self._handle_bad_departure,
             Tick: self._handle_tick,
             Callback: self._handle_callback,
+            str: self._handle_session_departure,
+            _TickMarker: self._handle_tick_marker,
         }
         defense.bind(self)
         if adversary is not None:
@@ -196,15 +277,100 @@ class Simulation:
         self.call_at(self.clock.now + delay, fn, label=label)
 
     # ------------------------------------------------------------------
+    # churn source plumbing
+    # ------------------------------------------------------------------
+    def _fast_path_enabled(self) -> bool:
+        flag = self.config.churn_fast_path
+        return FAST_PATH_DEFAULT if flag is None else bool(flag)
+
+    def _resolve_churn_mode(self) -> None:
+        """Sniff the churn source on first run: events or blocks.
+
+        The first item decides the mode; mixed streams (which
+        :class:`~repro.churn.traces.ChurnScenario` permits) are handled
+        either way -- block mode packs stray good-churn events into
+        one-row blocks, event mode flattens stray blocks.  Blocks route
+        to the fast path unless it is disabled, in which case they are
+        expanded into a per-event stream so both paths see the identical
+        event order (the A/B harness relies on this).
+        """
+        if self._churn_mode is not None:
+            return
+        first = next(self._churn, None)
+        if isinstance(first, ChurnBlock):
+            blocks = itertools.chain([first], self._churn)
+            if self._fast_path_enabled():
+                self._churn_mode = "blocks"
+                self._churn = iter(blocks)
+            else:
+                self._churn_mode = "events"
+                self._churn = flatten_churn(blocks)
+        else:
+            self._churn_mode = "events"
+            if first is not None:
+                self._pending_churn = first
+            else:
+                self._churn_done = True
+
+    def _load_next_block(self) -> bool:
+        """Advance to the next non-empty block; ``False`` when exhausted.
+
+        Rows are converted to plain Python lists once per block: the
+        per-row scans in the main loop are then float compares on list
+        items instead of numpy scalar extractions.  A stray per-event
+        item in a block stream is packed into a one-row block
+        (non-churn event types are rejected with ``from_events``'s
+        clear error).
+        """
+        for block in self._churn:
+            if not isinstance(block, ChurnBlock):
+                block = ChurnBlock.from_events([block])
+            if len(block) == 0:
+                continue
+            self._block_times = block.times.tolist()
+            self._block_kinds = block.kinds.tolist()
+            sessions = block.sessions
+            self._block_sessions = sessions.tolist() if sessions is not None else None
+            self._block_idents = block.idents
+            self._block_index = 0
+            return True
+        self._block_times = None
+        self._churn_done = True
+        return False
+
+    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the simulation until the horizon and summarize."""
+        """Execute the simulation until the horizon and summarize.
+
+        **Fast-path equivalence.**  A run of block rows is applied in one
+        batch only when every row in it would also be the next popped
+        event under the per-event path.  The batch is cut before any row
+        that (a) is preceded by a resident heap entry -- at equal times a
+        priority-0 heap entry pushed during an *earlier* instant wins
+        (it was scheduled before the per-event pump would have admitted
+        the row), while a tick (priority 10) or an entry pushed during
+        the current instant loses: the pump admits every churn row due
+        at time t before the first event at t is dispatched, so
+        same-instant pushes always carry higher seqs; (b) reaches the
+        adversary's wake time (``act`` must run first); (c) passes the
+        next metrics sample mark (at most one boundary row is included,
+        then the sample fires, exactly as the per-event loop samples
+        after the crossing event); (d) changes kind (join vs departure
+        runs map to distinct batch hooks); or (e) falls strictly after
+        the earliest session departure another row in the same batch
+        schedules -- a row at *exactly* that departure's time stays in
+        the batch, because the pump admitted it before the departure was
+        pushed.  Cuts are conservative: splitting a batch is always
+        equivalent to the per-event order.
+        """
         config = self.config
         horizon = config.horizon
         sample_interval = config.sample_interval
         self._bootstrap()
         self._arm_tick()
+        self._resolve_churn_mode()
         # Local bindings for the per-event loop: every attribute chased
         # here would otherwise be chased once per event.  The churn pump
         # is inlined as well -- the common case ("held-back event is
@@ -215,21 +381,51 @@ class Simulation:
         heappush = heapq.heappush
         next_seq = queue._seq.__next__
         clock = self.clock
+        defense = self.defense
         adversary = self.adversary
         handlers = self._handlers
         resolve = self._handler_for
-        adv_wake = self._adversary_wake
+        adv_wake = self._adversary_wake if adversary is not None else _INF
         next_sample = self._next_sample
         now = clock._now
+        block_mode = self._churn_mode == "blocks"
+        bt = self._block_times
+        bk = self._block_kinds
+        bs = self._block_sessions
+        bid = self._block_idents
+        bi = self._block_index
+        bn = len(bt) if bt is not None else 0
         churn_iter = self._churn
         pending = self._pending_churn
-        if pending is None and not self._churn_done:
+        if not block_mode and pending is None and not self._churn_done:
             pending = next(churn_iter, None)
+            if pending is not None and pending.__class__ is ChurnBlock:
+                # Mixed stream: flatten the remainder into events.
+                churn_iter = flatten_churn(itertools.chain([pending], churn_iter))
+                pending = next(churn_iter, None)
         pops = 0
         churn_pushes = 0
+        fast_events = 0
         max_size = queue.max_size
+        # Same-instant tie tracking (block mode): when the frontier
+        # first reaches a time t, one seq is burned as a watermark;
+        # heap entries pushed during instant t carry seqs >= the
+        # watermark and therefore lose ties to block rows at t (the
+        # per-event pump admits every row due at t -- with lower seqs --
+        # before the first event at t is dispatched).
+        frontier_time = float("-inf")
+        frontier_seq = 0
         while True:
-            # Admit every churn event due at or before the frontier.
+            if block_mode and bt is None and not self._churn_done:
+                if self._load_next_block():
+                    bt = self._block_times
+                    bk = self._block_kinds
+                    bs = self._block_sessions
+                    bid = self._block_idents
+                    bi = 0
+                    bn = len(bt)
+            # Admit every churn event due at or before the frontier
+            # (per-event mode only; block rows never enter the heap).
             while pending is not None:
                 pull_until = heap[0][0] if heap else horizon
                 if pull_until > horizon:
@@ -241,9 +437,156 @@ class Simulation:
                 if len(heap) > max_size:
                     max_size = len(heap)
                 pending = next(churn_iter, None)
+                if pending is not None and pending.__class__ is ChurnBlock:
+                    # Mixed stream: flatten the remainder into events.
+                    churn_iter = flatten_churn(
+                        itertools.chain([pending], churn_iter)
+                    )
+                    pending = next(churn_iter, None)
+            # ----------------------------------------------------------
+            # block fast path
+            # ----------------------------------------------------------
+            if bt is not None:
+                t0 = bt[bi]
+                if t0 <= horizon:
+                    if heap:
+                        top = heap[0]
+                        churn_first = t0 < top[0] or (
+                            t0 == top[0]
+                            and (
+                                top[1] > 0
+                                or (t0 == frontier_time and top[2] >= frontier_seq)
+                            )
+                        )
+                    else:
+                        churn_first = True
+                    if churn_first:
+                        if t0 < now:
+                            raise ValueError(
+                                f"clock cannot move backwards: now={now}, "
+                                f"requested={t0}"
+                            )
+                        if t0 > frontier_time:
+                            frontier_time = t0
+                            frontier_seq = next_seq()
+                        if adversary is not None and t0 >= adv_wake:
+                            now = clock._now = t0
+                            adversary.act(t0)
+                            adv_wake = adversary.next_wake(t0)
+                        # Scan the batch extent.  Row ``bi`` is always
+                        # included (the adversary, if due, already acted
+                        # at its time); the scan extends the run while
+                        # every boundary in the docstring holds.
+                        if heap:
+                            top = heap[0]
+                            hb_time = top[0]
+                            # A priority-0 entry at hb_time loses a tie
+                            # only to rows of the instant whose watermark
+                            # ``frontier_seq`` is (t0): those rows were
+                            # pump-admitted before any same-instant push.
+                            # Rows at *later* instants are admitted after
+                            # the entry existed, so they must yield.
+                            hb_tick = top[1] > 0
+                            hb_yields_to_t0 = not hb_tick and top[2] >= frontier_seq
+                        else:
+                            hb_time = _INF
+                            hb_tick = True
+                            hb_yields_to_t0 = False
+                        kind0 = bk[bi]
+                        joins = kind0 == 0
+                        # Session departures scheduled by batch rows:
+                        # the per-event pump co-admits only equal-time
+                        # rows (its pull bound shrinks to each pushed
+                        # row's own time), so a departure scheduled by
+                        # a row at an *earlier* instant wins a tie
+                        # against a later row (cut at ``>=``), while a
+                        # same-instant row was admitted first and stays.
+                        min_dep = _INF
+                        inst_time = t0
+                        inst_dep = _INF
+                        if joins and bs is not None:
+                            s = bs[bi]
+                            if s == s:
+                                inst_dep = t0 + s
+                        j = bi + 1
+                        if t0 < next_sample:
+                            while j < bn:
+                                t = bt[j]
+                                if t > horizon:
+                                    break
+                                if t > hb_time:
+                                    break
+                                if t == hb_time and not (
+                                    hb_tick or (hb_yields_to_t0 and t == t0)
+                                ):
+                                    break
+                                if t >= adv_wake:
+                                    break
+                                if bk[j] != kind0:
+                                    break
+                                if t > inst_time:
+                                    if inst_dep < min_dep:
+                                        min_dep = inst_dep
+                                    inst_dep = _INF
+                                    inst_time = t
+                                if t >= min_dep:
+                                    break
+                                if t >= next_sample:
+                                    j += 1
+                                    break
+                                if joins and bs is not None:
+                                    s = bs[j]
+                                    if s == s:
+                                        d = t + s
+                                        if d < inst_dep:
+                                            inst_dep = d
+                                j += 1
+                        times_seg = bt[bi:j]
+                        ids_seg = bid[bi:j] if bid is not None else None
+                        k = j - bi
+                        if joins:
+                            admitted = defense.process_good_join_batch(
+                                times_seg, ids_seg
+                            )
+                            self._good_join_events += k
+                            if bs is not None:
+                                off = bi
+                                for uid in admitted:
+                                    if uid is not None:
+                                        s = bs[off]
+                                        if s == s:
+                                            depart_at = bt[off] + s
+                                            if depart_at <= horizon:
+                                                heappush(
+                                                    heap,
+                                                    (depart_at, 0, next_seq(), uid),
+                                                )
+                                                churn_pushes += 1
+                                    off += 1
+                                if len(heap) > max_size:
+                                    max_size = len(heap)
+                        else:
+                            defense.process_good_departure_batch(times_seg, ids_seg)
+                            self._good_departure_events += k
+                        fast_events += k
+                        bi = j
+                        if bi >= bn:
+                            bt = None
+                        last_t = times_seg[-1]
+                        # Keep the watermark seq: entries the batch hooks
+                        # pushed carry later seqs, and every row up to
+                        # ``last_t`` was admitted before the batch ran.
+                        if last_t > frontier_time:
+                            frontier_time = last_t
+                        now = clock._now = last_t
+                        if last_t >= next_sample:
+                            self._sample_now()
+                            next_sample = last_t + sample_interval
+                        continue
             if not heap:
                 break
-            event_time = heap[0][0]
+            entry = heap[0]
+            event_time = entry[0]
             if event_time > horizon:
                 break
             event = heappop(heap)[3]
@@ -258,24 +601,84 @@ class Simulation:
                     f"requested={event_time}"
                 )
             now = clock._now = event_time
+            if block_mode and event_time > frontier_time:
+                frontier_time = event_time
+                frontier_seq = next_seq()
             if adversary is not None and event_time >= adv_wake:
                 adversary.act(event_time)
                 adv_wake = adversary.next_wake(event_time)
             cls = event.__class__
-            handler = handlers.get(cls)
-            if handler is None:
-                handler = resolve(cls)
-            handler(event, event_time)
-            if event_time >= next_sample:
+            if cls is str:
+                # Session departure: drain the run of consecutive
+                # tuple-backed departures at the heap front.  Bounds
+                # mirror the block batch: stop before the adversary's
+                # wake, a sample mark, or any same/earlier-time churn
+                # row (block row or pending event -- those lose the seq
+                # tie to an already-scheduled departure, so <= is safe).
+                run = None
+                if event_time < next_sample and heap:
+                    top = heap[0]
+                    if top[3].__class__ is str:
+                        t2 = top[0]
+                        # Strict bound: a departure at exactly the next
+                        # churn row's (or pending event's) time leaves
+                        # the drain, and the outer loop's tie rules
+                        # decide who goes first.
+                        block_bound = bt[bi] if bt is not None else _INF
+                        if pending is not None and pending.time < block_bound:
+                            block_bound = pending.time
+                        if t2 < adv_wake and t2 < next_sample and t2 < block_bound:
+                            d_times = [event_time]
+                            d_ids = [event]
+                            while True:
+                                heappop(heap)
+                                pops += 1
+                                d_times.append(t2)
+                                d_ids.append(top[3])
+                                if not heap:
+                                    break
+                                top = heap[0]
+                                if top[3].__class__ is not str:
+                                    break
+                                t2 = top[0]
+                                if (
+                                    t2 >= adv_wake
+                                    or t2 >= next_sample
+                                    or t2 >= block_bound
+                                ):
+                                    break
+                            run = d_times
+                if run is not None:
+                    now = clock._now = d_times[-1]
+                    self._good_departure_events += len(d_ids)
+                    defense.process_good_departure_batch(d_times, d_ids)
+                else:
+                    self._good_departure_events += 1
+                    defense.process_good_departure_batch((event_time,), (event,))
+            else:
+                handler = handlers.get(cls)
+                if handler is None:
+                    handler = resolve(cls)
+                handler(event, event_time)
+            if now >= next_sample:
                 self._sample_now()
-                next_sample = event_time + sample_interval
+                next_sample = now + sample_interval
         queue.pops += pops
         queue.pushes += churn_pushes
         if queue.max_size < max_size:
             queue.max_size = max_size
         self._pending_churn = pending
-        self._churn_done = pending is None
-        self._adversary_wake = adv_wake
+        if not block_mode:
+            self._churn_done = pending is None
+            self._churn = churn_iter
+        self._block_times = bt
+        self._block_kinds = bk
+        self._block_sessions = bs
+        self._block_idents = bid
+        self._block_index = bi
+        self._fast_churn_events += fast_events
+        if adversary is not None:
+            self._adversary_wake = adv_wake
         self._next_sample = next_sample
         self.clock.advance_to(horizon)
         if adversary is not None and horizon >= adv_wake:
@@ -305,20 +708,22 @@ class Simulation:
                 continue
             depart_at = member.residual
             if 0 <= depart_at <= self.config.horizon:
-                self.queue.push(GoodDeparture(time=depart_at, ident=member.ident))
+                self.queue.push_departure(depart_at, member.ident)
 
     def _arm_tick(self) -> None:
         """Schedule the first recurring tick (re-armed as each one fires).
 
         Only one tick is ever resident in the queue: pre-scheduling
         ``horizon / tick_interval`` of them (10,001 heap entries at the
-        defaults) made every heap operation pay a log of that bulk.
+        defaults) made every heap operation pay a log of that bulk.  The
+        resident entry is a shared sentinel, not a fresh ``Tick`` object
+        per fire.
         """
         interval = self.config.tick_interval
         if interval <= 0:
             return
         if interval <= self.config.horizon:
-            self.queue.push(Tick(time=interval), priority=TICK_PRIORITY)
+            self.queue.push_entry(interval, TICK_PRIORITY, _TICK)
 
     # ------------------------------------------------------------------
     # event handlers (dispatch table; one per event class)
@@ -329,25 +734,38 @@ class Simulation:
         if admitted_ident is not None and event.session is not None:
             depart_at = now + event.session
             if depart_at <= self.config.horizon:
-                self.queue.push(GoodDeparture(time=depart_at, ident=admitted_ident))
+                self.queue.push_departure(depart_at, admitted_ident)
 
     def _handle_good_departure(self, event: GoodDeparture, now: float) -> None:
         self._good_departure_events += 1
         self.defense.process_good_departure(event.ident)
 
+    def _handle_session_departure(self, ident: str, now: float) -> None:
+        """Out-of-loop dispatch of a tuple-backed session departure."""
+        self._good_departure_events += 1
+        self.defense.process_good_departure(ident)
+
     def _handle_bad_departure(self, event: BadDeparture, now: float) -> None:
+        self._bad_departure_events += 1
         self.defense.process_bad_departure(event.ident)
 
     def _handle_tick(self, event: Tick, now: float) -> None:
+        """Externally pushed ``Tick`` events (tests, custom schedules)."""
         self.defense.on_tick(now)
         next_tick = event.time + self.config.tick_interval
         if next_tick <= self.config.horizon:
             self.queue.push(Tick(time=next_tick), priority=TICK_PRIORITY)
 
+    def _handle_tick_marker(self, marker: _TickMarker, now: float) -> None:
+        self.defense.on_tick(now)
+        next_tick = now + self.config.tick_interval
+        if next_tick <= self.config.horizon:
+            self.queue.push_entry(next_tick, TICK_PRIORITY, marker)
+
     def _handle_callback(self, event: Callback, now: float) -> None:
         event.fn(now)
 
-    def _handler_for(self, cls: type) -> Callable[[Event, float], None]:
+    def _handler_for(self, cls: type) -> Callable:
         """Resolve (and cache) the handler for an event subclass."""
         for base in cls.__mro__:
             handler = self._handlers.get(base)
@@ -356,7 +774,7 @@ class Simulation:
                 return handler
         raise TypeError(f"unhandled event type: {cls.__name__}")
 
-    def _dispatch(self, event: Event) -> None:
+    def _dispatch(self, event) -> None:
         """Route one event (kept for tests and out-of-loop callers)."""
         self._handler_for(event.__class__)(event, self.clock.now)
 
@@ -374,12 +792,27 @@ class Simulation:
         max_bad = self.metrics.bad_fraction.max() if len(self.metrics.bad_fraction) else 0.0
         max_bad = max(max_bad, getattr(self.defense, "peak_bad_fraction", 0.0))
         counters = self.metrics.counters
+        churn_total = (
+            self._good_join_events
+            + self._good_departure_events
+            + self._bad_departure_events
+        )
+        # Path split: fast = applied straight from blocks (zero heap),
+        # heap = dispatched from the queue.  These two are diagnostics of
+        # *how* events were processed; every other counter is identical
+        # between the fast path and the per-event path.
+        counters.add("churn_events_fast", self._fast_churn_events)
+        counters.add("churn_events_heap", churn_total - self._fast_churn_events)
+        self._fast_churn_events = 0
         if self._good_join_events:
             counters.add("good_join_events", self._good_join_events)
             self._good_join_events = 0
         if self._good_departure_events:
             counters.add("good_departure_events", self._good_departure_events)
             self._good_departure_events = 0
+        if self._bad_departure_events:
+            counters.add("bad_departure_events", self._bad_departure_events)
+            self._bad_departure_events = 0
         counters.add("queue_pushes", self.queue.pushes)
         counters.add("queue_pops", self.queue.pops)
         counters.add("queue_max_size", self.queue.max_size)

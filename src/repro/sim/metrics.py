@@ -10,10 +10,11 @@ seconds" query at the heart of Ergo's entrance cost (Figure 4, Step 1).
 
 from __future__ import annotations
 
-import bisect
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 
 class Counter:
@@ -36,66 +37,91 @@ class Counter:
 
 
 class TimeSeries:
-    """An append-only series of ``(time, value)`` samples."""
+    """An append-only series of ``(time, value)`` samples.
+
+    Backed by preallocated numpy buffers with amortized doubling growth:
+    :meth:`record` is an O(1) scalar store (no per-sample list-object
+    churn once event dispatch itself is cheap), and :attr:`times` /
+    :attr:`values` are zero-copy array views over the filled prefix --
+    analysis code gets vectorized access for free.  Treat the views as
+    read-only; they alias the live buffers.
+    """
+
+    __slots__ = ("name", "_times", "_values", "_n")
+
+    #: Initial buffer capacity (doubles as the series grows).
+    INITIAL_CAPACITY = 32
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._times: List[float] = []
-        self._values: List[float] = []
+        self._times = np.empty(self.INITIAL_CAPACITY, dtype=np.float64)
+        self._values = np.empty(self.INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
 
     def record(self, time: float, value: float) -> None:
-        if self._times and time < self._times[-1]:
-            raise ValueError(
-                f"time series {self.name!r} must be appended in time order"
-            )
-        self._times.append(float(time))
-        self._values.append(float(value))
+        n = self._n
+        times = self._times
+        if n:
+            if time < times[n - 1]:
+                raise ValueError(
+                    f"time series {self.name!r} must be appended in time order"
+                )
+            if n == times.shape[0]:
+                self._times = np.empty(2 * n, dtype=np.float64)
+                self._times[:n] = times
+                times = self._times
+                values = np.empty(2 * n, dtype=np.float64)
+                values[:n] = self._values
+                self._values = values
+        times[n] = time
+        self._values[n] = value
+        self._n = n + 1
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._n
 
     def __iter__(self) -> Iterator[Tuple[float, float]]:
-        return iter(zip(self._times, self._values))
+        return iter(
+            zip(self._times[: self._n].tolist(), self._values[: self._n].tolist())
+        )
 
     @property
-    def times(self) -> List[float]:
-        return list(self._times)
+    def times(self) -> np.ndarray:
+        """Zero-copy float64 view of the sample times."""
+        return self._times[: self._n]
 
     @property
-    def values(self) -> List[float]:
-        return list(self._values)
+    def values(self) -> np.ndarray:
+        """Zero-copy float64 view of the sample values."""
+        return self._values[: self._n]
 
     def max(self) -> float:
-        if not self._values:
+        if not self._n:
             raise ValueError(f"time series {self.name!r} is empty")
-        return max(self._values)
+        return float(self._values[: self._n].max())
 
     def min(self) -> float:
-        if not self._values:
+        if not self._n:
             raise ValueError(f"time series {self.name!r} is empty")
-        return min(self._values)
+        return float(self._values[: self._n].min())
 
     def last(self) -> float:
-        if not self._values:
+        if not self._n:
             raise ValueError(f"time series {self.name!r} is empty")
-        return self._values[-1]
+        return float(self._values[self._n - 1])
 
     def last_time(self) -> Optional[float]:
-        """Time of the most recent sample, or ``None`` when empty.
-
-        O(1), unlike the :attr:`times` property (which copies the whole
-        series and is meant for analysis code, not per-event checks).
-        """
-        if not self._times:
+        """Time of the most recent sample, or ``None`` when empty (O(1))."""
+        if not self._n:
             return None
-        return self._times[-1]
+        return float(self._times[self._n - 1])
 
     def value_at(self, time: float) -> float:
         """The most recent sample at or before ``time`` (step function)."""
-        idx = bisect.bisect_right(self._times, time) - 1
+        idx = int(np.searchsorted(self._times[: self._n], time, side="right")) - 1
         if idx < 0:
             raise ValueError(f"no sample at or before t={time}")
-        return self._values[idx]
+        return float(self._values[idx])
 
 
 class SpendMeter:

@@ -31,6 +31,32 @@ class NullDefense(Defense):
             self.population.good_depart(victim)
         return victim
 
+    def process_good_join_batch(self, times, idents=None) -> list:
+        """Batched joins: issue-and-admit with no charges at all.
+
+        Binds ``MembershipSet.add`` directly (``SystemPopulation.
+        good_join`` is a plain forwarder), since this hook is the floor
+        every engine-loop benchmark number sits on.
+        """
+        issue = self.ids.issue
+        add = self.population.good.add
+        admitted = []
+        append = admitted.append
+        if idents is None:
+            for t in times:
+                unique = issue("g")
+                add(unique, True, t)
+                append(unique)
+        else:
+            for t, ident in zip(times, idents):
+                unique = issue(ident if ident is not None else "g")
+                add(unique, True, t)
+                append(unique)
+        return admitted
+
+    #: Departures are select + remove with no bookkeeping.
+    process_good_departure_batch = Defense._removal_departure_batch
+
     def quote_entrance_cost(self) -> float:
         return 1.0
 

@@ -108,3 +108,24 @@ class TestParallelMapSmallInputs:
 
     def test_star_unpacks(self):
         assert parallel.parallel_map(pow, [(2, 3), (3, 2)], jobs=1, star=True) == [8, 9]
+
+
+class TestChunkedSubmission:
+    """Points are handed to workers in chunks, preserving order."""
+
+    def test_default_chunksize_amortizes_ipc(self):
+        # points >> workers: several points per chunk
+        assert parallel.default_chunksize(80, 2) == 10
+        # points ~ workers: one per chunk, never zero
+        assert parallel.default_chunksize(3, 4) == 1
+        assert parallel.default_chunksize(1, 1) == 1
+
+    def test_chunked_map_preserves_order(self):
+        items = list(range(23))
+        out = parallel.parallel_map(str, items, jobs=2, chunksize=5)
+        assert out == [str(i) for i in items]
+
+    def test_chunked_star_map_preserves_order(self):
+        items = [(i, 2) for i in range(17)]
+        out = parallel.parallel_map(pow, items, jobs=2, star=True, chunksize=4)
+        assert out == [i * i for i in range(17)]

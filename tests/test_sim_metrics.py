@@ -36,9 +36,39 @@ class TestTimeSeries:
         series = TimeSeries("s")
         series.record(0.0, 1.0)
         series.record(2.0, 3.0)
-        assert series.times == [0.0, 2.0]
-        assert series.values == [1.0, 3.0]
+        assert series.times.tolist() == [0.0, 2.0]
+        assert series.values.tolist() == [1.0, 3.0]
         assert len(series) == 2
+
+    def test_iter_yields_pairs(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)
+        assert list(series) == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_buffer_growth_past_initial_capacity(self):
+        series = TimeSeries("s")
+        n = TimeSeries.INITIAL_CAPACITY * 4 + 3
+        for i in range(n):
+            series.record(float(i), float(i * 2))
+        assert len(series) == n
+        assert series.times.tolist() == [float(i) for i in range(n)]
+        assert series.values[-1] == float((n - 1) * 2)
+        assert series.max() == float((n - 1) * 2)
+
+    def test_views_are_zero_copy(self):
+        series = TimeSeries("s")
+        series.record(1.0, 2.0)
+        # The exposed views alias the live buffer (no per-read copy).
+        assert series.times.base is series._times
+        assert series.values.base is series._values
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries("s")
+        series.record(1.0, 2.0)
+        series.record(1.0, 3.0)  # non-decreasing, not strictly increasing
+        assert series.last() == 3.0
+        assert series.last_time() == 1.0
 
     def test_rejects_out_of_order(self):
         series = TimeSeries("s")
@@ -148,6 +178,55 @@ class TestSlidingWindowCounter:
         window = SlidingWindowCounter(width=1.0)
         with pytest.raises(ValueError):
             window.set_width(-2.0)
+
+    def test_batch_record_merges_same_instant(self):
+        """record(now, n) at one instant is one deque batch, n counts."""
+        window = SlidingWindowCounter(width=10.0)
+        window.record(3.0, count=4)
+        window.record(3.0, count=6)
+        assert len(window._batches) == 1
+        assert window.count(3.0) == 10
+
+    def test_batch_ages_out_atomically_at_cutoff(self):
+        """A whole burst recorded at one time leaves the window together."""
+        window = SlidingWindowCounter(width=10.0)
+        window.record(0.0, count=1000)
+        window.record(5.0, count=1)
+        assert window.count(9.999) == 1001
+        # Exactly at now - width the burst is excluded: (now-width, now].
+        assert window.count(10.0) == 1
+        assert window.count(15.0) == 0
+
+    def test_batch_record_equals_repeated_singles(self):
+        """record(now, n) must be indistinguishable from n record(now) calls
+        at every window edge -- the batch hooks rely on this."""
+        times = [0.0, 0.5, 0.5, 4.9, 5.0, 9.7]
+        for probe in [0.0, 4.9, 5.0, 5.4999, 5.5, 9.9, 10.0, 14.7, 20.0]:
+            b = SlidingWindowCounter(width=5.0)
+            s = SlidingWindowCounter(width=5.0)
+            for t in times:
+                if t <= probe:
+                    b.record(t, count=3)
+                    for _ in range(3):
+                        s.record(t)
+            assert b.count(probe) == s.count(probe), probe
+
+    def test_zero_count_batch_is_noop(self):
+        window = SlidingWindowCounter(width=5.0)
+        window.record(1.0, count=0)
+        assert window.count(1.0) == 0
+        assert len(window._batches) == 0
+
+    def test_batch_record_interacts_with_floor(self):
+        """A clear() mid-stream drops earlier bursts but keeps same-instant
+        ones, matching Ergo's iteration-boundary semantics."""
+        window = SlidingWindowCounter(width=100.0)
+        window.record(1.0, count=50)
+        window.clear(5.0)
+        window.record(5.0, count=7)
+        assert window.count(6.0) == 7
+        with pytest.raises(ValueError, match="floor"):
+            window.record(4.0, count=2)
 
     @given(
         st.lists(
