@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-quick bench-scale
+.PHONY: test smoke scenarios bench-quick bench-scale perf-trend
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,6 +9,11 @@ test:
 # The CI smoke run: quick Figure 8 sweep through the parallel executor.
 smoke:
 	$(PYTHON) -m repro figure8 --quick --jobs 2
+
+# Scenario-catalog smoke: every catalog scenario under every defense at
+# small scale (deterministic metrics JSON lands in results/).
+scenarios:
+	$(PYTHON) -m repro scenarios run --all --quick --jobs 2
 
 # Dump the perf trajectory snapshot (engine events/sec, fast-path vs
 # heap-path A/B, sweep wall time).
@@ -19,3 +24,8 @@ bench-quick:
 # blows the wall-time budget or the fast path does not engage).
 bench-scale:
 	$(PYTHON) benchmarks/bench_scale.py --json BENCH_scale.json
+
+# Compare freshly produced BENCH_*.json against the committed snapshots
+# and flag >20% regressions (advisory; --strict to fail).
+perf-trend:
+	$(PYTHON) benchmarks/perf_trend.py

@@ -9,11 +9,16 @@ Usage::
     python -m repro committee [--quick]
     python -m repro ablations [--quick] [--jobs N]
     python -m repro sensitivity [--quick]
-    python -m repro all --quick        # everything, scaled down
+    python -m repro scenarios list
+    python -m repro scenarios run <name> [--quick] [--jobs N]
+    python -m repro all --quick        # every figure, scaled down
 
 ``--jobs N`` fans the sweep out over N worker processes (default: all
 cores); results are deterministic and identical to a serial run.
 Outputs land in ``results/`` (tables, ASCII plots, CSV series).
+``scenarios`` drives the declarative workload catalog (flash crowds,
+diurnal cycles, mass exoduses, flapping Sybils, trace replays) across
+the whole defense suite; see ``python -m repro scenarios --help``.
 """
 
 from __future__ import annotations
@@ -30,8 +35,10 @@ from repro.experiments import (
     lowerbound,
     sensitivity,
 )
+from repro.scenarios import cli as scenarios_cli
 
-COMMANDS: Dict[str, Callable[[List[str]], object]] = {
+#: The paper-figure commands (what ``all`` iterates).
+FIGURE_COMMANDS: Dict[str, Callable[[List[str]], object]] = {
     "figure8": figure8.main,
     "figure9": figure9.main,
     "figure10": figure10.main,
@@ -39,6 +46,11 @@ COMMANDS: Dict[str, Callable[[List[str]], object]] = {
     "committee": committee_exp.main,
     "ablations": ablations.main,
     "sensitivity": sensitivity.main,
+}
+
+COMMANDS: Dict[str, Callable[[List[str]], object]] = {
+    **FIGURE_COMMANDS,
+    "scenarios": scenarios_cli.main,
 }
 
 
@@ -50,7 +62,9 @@ def main(argv: List[str] = None) -> int:
     command = args[0]
     rest = args[1:]
     if command == "all":
-        for name, runner in COMMANDS.items():
+        # ``all`` regenerates the paper's figures; the scenario catalog
+        # has its own entry point (``scenarios run --all``).
+        for name, runner in FIGURE_COMMANDS.items():
             print(f"\n##### {name} #####")
             runner(rest)
         return 0
@@ -59,8 +73,10 @@ def main(argv: List[str] = None) -> int:
         print(f"unknown command {command!r}; choose from "
               f"{', '.join(sorted(COMMANDS))} or 'all'")
         return 2
-    runner(rest)
-    return 0
+    result = runner(rest)
+    # The figure mains return their rows; subcommand CLIs (scenarios)
+    # return an exit status worth propagating.
+    return result if isinstance(result, int) else 0
 
 
 if __name__ == "__main__":

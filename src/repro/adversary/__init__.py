@@ -16,6 +16,11 @@ IDs to the system" (Section 10.1).
 
 from repro.adversary.base import Adversary, PassiveAdversary
 from repro.adversary.budget import ResourceBudget
+from repro.adversary.schedule import (
+    AttackWindow,
+    ScheduledAdversary,
+    periodic_windows,
+)
 from repro.adversary.strategies import (
     BurstyJoinAdversary,
     GreedyJoinAdversary,
@@ -27,6 +32,7 @@ from repro.adversary.strategies import (
 
 __all__ = [
     "Adversary",
+    "AttackWindow",
     "BurstyJoinAdversary",
     "GreedyJoinAdversary",
     "LowerBoundAdversary",
@@ -35,4 +41,6 @@ __all__ = [
     "PersistentFractionAdversary",
     "PurgeSurvivorAdversary",
     "ResourceBudget",
+    "ScheduledAdversary",
+    "periodic_windows",
 ]

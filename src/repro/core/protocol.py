@@ -110,6 +110,38 @@ class Defense(abc.ABC):
         """Adversary-scheduled departure of one of its IDs (aggregate)."""
         self.population.bad.evict_newest(1)
 
+    def process_bad_departure_batch(self, count: int) -> int:
+        """Withdraw up to ``count`` bad IDs at the current instant.
+
+        The block form of :meth:`process_bad_departure`: a scheduled
+        Sybil mass exodus (:class:`repro.sim.events.BadDepartureBatch`)
+        or a flapping attack's window-close withdrawal arrives as one
+        call instead of ``count`` per-object events.  The default
+        aggregates only when the per-ID hook is the base implementation
+        (a bare ``evict_newest(1)``, for which one ``evict_newest(count)``
+        is exactly equivalent); defenses that override the per-ID hook
+        with extra bookkeeping get a faithful per-ID loop unless they
+        also override this batch hook with something provably
+        equivalent.
+
+        Returns the number of departures the schedule *delivered* (calls
+        that found a standing Sybil to withdraw) -- capped by the live
+        population, and never counting IDs a defense mechanism (e.g. a
+        purge tripped by the departure bookkeeping) evicted as a side
+        effect; those are already tallied by the defense's own counters.
+        """
+        if count <= 0:
+            return 0
+        if type(self).process_bad_departure is Defense.process_bad_departure:
+            return self.population.bad.evict_newest(count)
+        delivered = 0
+        for _ in range(count):
+            if self.population.bad_count == 0:
+                break
+            self.process_bad_departure("")
+            delivered += 1
+        return delivered
+
     # ------------------------------------------------------------------
     # batch hooks (the engine's zero-heap fast path)
     # ------------------------------------------------------------------

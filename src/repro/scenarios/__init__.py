@@ -1,0 +1,77 @@
+"""Declarative scenario & workload subsystem.
+
+The paper's guarantees hold "despite churn" -- this package makes churn
+*programmable*.  A :class:`~repro.scenarios.spec.ScenarioSpec` describes
+a workload as a timeline of phases (steady state, flash crowd, diurnal
+cycle, mass exodus, partition-and-rejoin, trace replay, Sybil exodus)
+plus an attack schedule (sustained / burst / flapping profiles);
+:mod:`~repro.scenarios.compile` lowers it to struct-of-arrays
+:class:`~repro.sim.blocks.ChurnBlock` batches so every scenario rides
+the engine's zero-heap fast path; :mod:`~repro.scenarios.catalog` names
+ready-made scenarios; and :mod:`~repro.scenarios.run` sweeps them across
+the defense suite with the shared process-pool executor.
+
+Entry points::
+
+    python -m repro scenarios list
+    python -m repro scenarios run flash-crowd --quick
+
+or, as a library::
+
+    from repro.scenarios import compile_scenario, get_scenario, run_catalog
+"""
+
+from repro.scenarios.catalog import (
+    CATALOG,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.scenarios.compile import CompiledScenario, compile_scenario
+from repro.scenarios.run import (
+    SCENARIO_DEFENSES,
+    ScenarioPointSpec,
+    build_adversary,
+    build_defense,
+    run_catalog,
+    run_scenario_point,
+)
+from repro.scenarios.spec import (
+    AttackSchedule,
+    DiurnalCycle,
+    FlashCrowd,
+    MassExodus,
+    PartitionRejoin,
+    ScenarioSpec,
+    SessionSpec,
+    Silence,
+    SteadyState,
+    SybilExodus,
+    TraceReplay,
+)
+
+__all__ = [
+    "AttackSchedule",
+    "CATALOG",
+    "CompiledScenario",
+    "DiurnalCycle",
+    "FlashCrowd",
+    "MassExodus",
+    "PartitionRejoin",
+    "SCENARIO_DEFENSES",
+    "ScenarioPointSpec",
+    "ScenarioSpec",
+    "SessionSpec",
+    "Silence",
+    "SteadyState",
+    "SybilExodus",
+    "TraceReplay",
+    "build_adversary",
+    "build_defense",
+    "compile_scenario",
+    "get_scenario",
+    "register",
+    "run_catalog",
+    "run_scenario_point",
+    "scenario_names",
+]

@@ -1,0 +1,204 @@
+"""The scenario registry and the named catalog.
+
+Every entry is a :class:`~repro.scenarios.spec.ScenarioSpec` runnable
+against every defense via ``python -m repro scenarios run <name>`` (or
+:func:`repro.scenarios.run.run_catalog`).  The shapes come from the
+churn/attack workloads the related literature evaluates under: flash
+crowds and synchronized exoduses (Tor Sybil characterization), node
+failure/recovery cycles (SybilControl), diurnal churn (BitTorrent /
+Gnutella measurement studies), and the paper's own steady-state traces.
+
+Register custom scenarios with :func:`register`; the CLI and the runner
+resolve names through :func:`get_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    AttackSchedule,
+    DiurnalCycle,
+    FlashCrowd,
+    MassExodus,
+    PartitionRejoin,
+    ScenarioSpec,
+    SessionSpec,
+    Silence,
+    SteadyState,
+    SybilExodus,
+    TraceReplay,
+)
+
+CATALOG: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a spec to the catalog (names are unique unless ``replace``)."""
+    if not replace and spec.name in CATALOG:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    CATALOG[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown scenario {name!r}; choose from: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    """Catalog names in registration (presentation) order."""
+    return list(CATALOG)
+
+
+# ----------------------------------------------------------------------
+# the built-in catalog
+# ----------------------------------------------------------------------
+register(
+    ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            "Steady state, then a coordinated mass join of 3x the "
+            "population in 100 s, then the crowd drains through its "
+            "sessions.  The headline zero-heap workload."
+        ),
+        phases=(
+            SteadyState(duration=200.0),
+            FlashCrowd(duration=100.0, multiplier=3.0),
+            SteadyState(duration=300.0),
+        ),
+        n0=1000,
+        sessions=SessionSpec(kind="exponential", mean=600.0),
+        attack=AttackSchedule(profile="sustained"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="diurnal",
+        description=(
+            "Day/night modulated arrivals (amplitude 0.8, two cycles) "
+            "under a sustained attack -- the measurement-study workload."
+        ),
+        phases=(DiurnalCycle(duration=1200.0, amplitude=0.8, period=600.0),),
+        n0=800,
+        sessions=SessionSpec(kind="weibull", mean=500.0, shape=0.59),
+        attack=AttackSchedule(profile="sustained"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="mass-exodus",
+        description=(
+            "Steady state, then 60% of the population departs inside "
+            "50 s (correlated failure / network collapse), then the "
+            "system recovers.  Stresses GoodJEst under a rate cliff."
+        ),
+        phases=(
+            SteadyState(duration=200.0),
+            MassExodus(duration=50.0, fraction=0.6),
+            SteadyState(duration=350.0),
+        ),
+        n0=1200,
+        sessions=SessionSpec(kind="exponential", mean=900.0),
+        attack=AttackSchedule(profile="sustained"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="flapping-sybils",
+        description=(
+            "Steady good churn while the adversary flaps: 100 s attack "
+            "windows separated by 100 s of darkness, withdrawing every "
+            "standing Sybil at each window close (block-form bad "
+            "departures)."
+        ),
+        phases=(SteadyState(duration=900.0),),
+        n0=900,
+        sessions=SessionSpec(kind="exponential", mean=700.0),
+        attack=AttackSchedule(profile="flapping", on=100.0, off=100.0),
+        default_t_rate=256.0,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="tor-relay-replay",
+        description=(
+            "Replay of a packaged relay up/down trace (18 flapping "
+            "relays plus a synchronized burst join and exodus) over a "
+            "small steady background population."
+        ),
+        phases=(
+            TraceReplay(path="tor_relay_flap.csv", duration=500.0),
+            Silence(duration=100.0),
+        ),
+        n0=120,
+        sessions=SessionSpec(kind="exponential", mean=400.0),
+        attack=AttackSchedule(profile="off"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="calm-then-storm",
+        description=(
+            "A long calm stretch at one fifth of equilibrium churn, "
+            "then a simultaneous flash crowd and burst-profile attack "
+            "-- the adversary saves its whole budget for the storm."
+        ),
+        phases=(
+            SteadyState(duration=400.0, rate_scale=0.2),
+            FlashCrowd(duration=60.0, multiplier=2.0),
+            SteadyState(duration=140.0),
+        ),
+        n0=1000,
+        sessions=SessionSpec(kind="exponential", mean=600.0),
+        attack=AttackSchedule(profile="burst", burst_period=120.0),
+        default_t_rate=512.0,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="partition-rejoin",
+        description=(
+            "Half the network partitions away for 200 s and rejoins in "
+            "one 10 s wave; the defense must not misread the partition "
+            "as low churn nor the rejoin wave as an attack."
+        ),
+        phases=(
+            SteadyState(duration=200.0),
+            PartitionRejoin(away=200.0, fraction=0.5),
+            SteadyState(duration=180.0),
+        ),
+        n0=1000,
+        sessions=SessionSpec(kind="exponential", mean=800.0),
+        attack=AttackSchedule(profile="sustained"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="sybil-collapse",
+        description=(
+            "The adversary floods greedily, then withdraws everything "
+            "in four scheduled block-form batches (synchronized Sybil "
+            "exodus) while good churn stays steady."
+        ),
+        phases=(
+            SteadyState(duration=300.0),
+            SybilExodus(duration=30.0, batches=4),
+            SteadyState(duration=270.0),
+        ),
+        n0=800,
+        sessions=SessionSpec(kind="exponential", mean=600.0),
+        attack=AttackSchedule(profile="sustained", end=300.0),
+        default_t_rate=256.0,
+    )
+)

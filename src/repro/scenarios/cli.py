@@ -1,0 +1,180 @@
+"""``python -m repro scenarios`` -- the scenario subsystem CLI.
+
+Usage::
+
+    python -m repro scenarios list
+    python -m repro scenarios run <name> [<name> ...] [options]
+    python -m repro scenarios run --all [options]
+
+Options:
+    --defense NAME   restrict to one or more defenses (repeatable;
+                     default: all of ERGO, CCOM, SybilControl, REMP, Null)
+    --seed N         run seed (default 2021); per-point seeds derive from it
+    --t-rate T       override every scenario's adversary spend rate
+    --n0-scale X     scale initial populations (and everything derived)
+    --quick          preset: --n0-scale 0.25 (the CI smoke scale)
+    --jobs N         worker processes (default: all cores)
+    --json PATH      also write the metrics report to PATH
+
+The metrics report (per scenario x defense row: spend rates, peak bad
+fraction, peak join rate, fast-path fraction, ...) always lands in
+``results/scenarios.json``; stdout gets a compact table.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.plotting import format_table
+from repro.experiments.parallel import parse_jobs
+from repro.experiments.report import results_path
+from repro.scenarios.catalog import CATALOG, get_scenario, scenario_names
+from repro.scenarios.run import (
+    SCENARIO_DEFENSES,
+    report_json,
+    resolve_t_rate,
+    run_catalog,
+)
+
+#: ``--quick`` population scale (the smoke-test miniature).
+QUICK_N0_SCALE = 0.25
+
+
+def _pop_option(args: List[str], flag: str) -> Optional[str]:
+    """Extract ``--flag VALUE`` / ``--flag=VALUE`` (single occurrence)."""
+    for i, arg in enumerate(args):
+        if arg == flag:
+            if i + 1 >= len(args):
+                raise SystemExit(f"{flag} requires a value")
+            value = args[i + 1]
+            del args[i : i + 2]
+            return value
+        if arg.startswith(flag + "="):
+            del args[i]
+            return arg.split("=", 1)[1]
+    return None
+
+
+def _pop_multi(args: List[str], flag: str) -> List[str]:
+    values = []
+    while True:
+        value = _pop_option(args, flag)
+        if value is None:
+            return values
+        values.append(value)
+
+
+def _list_catalog() -> str:
+    rows = []
+    for name in scenario_names():
+        spec = CATALOG[name]
+        rows.append(
+            [
+                name,
+                spec.n0,
+                f"{spec.horizon:.0f}s",
+                spec.attack.profile,
+                spec.description,
+            ]
+        )
+    return format_table(
+        ["scenario", "n0", "horizon", "attack", "description"], rows
+    )
+
+
+def _report_table(report: Dict) -> str:
+    rows = []
+    for row in report["rows"]:
+        rows.append(
+            [
+                row["scenario"],
+                row["defense"],
+                row["t_rate"],
+                row["good_spend_rate"],
+                row["adversary_spend_rate"],
+                row["max_bad_fraction"],
+                row["peak_join_rate"],
+                f"{row['fast_join_fraction']:.1%}",
+            ]
+        )
+    return format_table(
+        [
+            "scenario",
+            "defense",
+            "T",
+            "A",
+            "adv_rate",
+            "max_bad",
+            "peak_joins/s",
+            "fast_joins",
+        ],
+        rows,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, args = args[0], args[1:]
+    if command == "list":
+        print(_list_catalog())
+        return 0
+    if command != "run":
+        print(f"unknown scenarios command {command!r}; use 'list' or 'run'")
+        return 2
+    jobs = parse_jobs(args)
+    _pop_option(args, "--jobs")
+    run_all = "--all" in args
+    args = [a for a in args if a != "--all"]
+    quick = "--quick" in args
+    args = [a for a in args if a != "--quick"]
+    defenses = _pop_multi(args, "--defense") or list(SCENARIO_DEFENSES)
+    unknown_defenses = [d for d in defenses if d not in SCENARIO_DEFENSES]
+    if unknown_defenses:
+        raise SystemExit(
+            f"unknown defense(s): {', '.join(unknown_defenses)}; "
+            f"choose from: {', '.join(SCENARIO_DEFENSES)}"
+        )
+    seed_opt = _pop_option(args, "--seed")
+    t_rate_opt = _pop_option(args, "--t-rate")
+    n0_scale_opt = _pop_option(args, "--n0-scale")
+    json_path = _pop_option(args, "--json")
+    names = [a for a in args if not a.startswith("--")]
+    unknown_flags = [a for a in args if a.startswith("--")]
+    if unknown_flags:
+        raise SystemExit(f"unknown option(s): {', '.join(unknown_flags)}")
+    if run_all or not names:
+        names = scenario_names()
+    for name in names:
+        try:
+            get_scenario(name)  # fail fast, with the known-names message
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+    n0_scale = float(n0_scale_opt) if n0_scale_opt else (
+        QUICK_N0_SCALE if quick else 1.0
+    )
+    report = run_catalog(
+        scenarios=names,
+        defenses=defenses,
+        seed=int(seed_opt) if seed_opt else 2021,
+        t_rate=float(t_rate_opt) if t_rate_opt else None,
+        n0_scale=n0_scale,
+        jobs=jobs,
+    )
+    text = report_json(report)
+    out_path = results_path("scenarios.json")
+    with open(out_path, "w") as handle:
+        handle.write(text + "\n")
+    if json_path:
+        with open(json_path, "w") as handle:
+            handle.write(text + "\n")
+    print(_report_table(report))
+    print(f"\nmetrics JSON: {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""Compile a :class:`~repro.scenarios.spec.ScenarioSpec` to churn blocks.
+
+The compiler walks the spec's phase timeline with a running time cursor
+and a coarse population estimate, emitting
+
+* time-sorted :class:`~repro.sim.blocks.ChurnBlock` batches for all good
+  churn (so every scenario rides the engine's zero-heap fast path -- the
+  phase compilers reuse the vectorized generators
+  :func:`~repro.churn.generators.poisson_join_blocks` /
+  :func:`~repro.churn.generators.modulated_join_blocks`), and
+* scheduled :class:`~repro.sim.events.BadDepartureBatch` events for
+  adversarial exoduses (one heap entry per batch, never per ID).
+
+The population estimate is deliberately simple (joins add, departures
+subtract, steady phases hold) -- it only sizes fraction-based phases and
+resolves equilibrium rates; the simulation itself tracks the true
+population.  Everything is derived from the one ``rng`` stream handed
+in, so a (spec, seed) pair compiles to a bit-identical workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.churn.generators import (
+    diurnal_rate,
+    modulated_join_blocks,
+    poisson_join_blocks,
+)
+from repro.churn.sessions import (
+    EquilibriumResidualSampler,
+    SessionDistribution,
+    sample_session_array,
+)
+from repro.churn.traces import InitialMember, load_trace_csv
+from repro.scenarios.spec import (
+    DiurnalCycle,
+    FlashCrowd,
+    MassExodus,
+    PartitionRejoin,
+    ScenarioSpec,
+    Silence,
+    SteadyState,
+    SybilExodus,
+    TraceReplay,
+)
+from repro.sim.blocks import DEPART, JOIN, ChurnBlock, blocks_from_events
+from repro.sim.events import BadDepartureBatch, Event, GoodDeparture, GoodJoin
+
+#: Packaged trace data (``TraceReplay`` relative paths resolve here).
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+
+@dataclass
+class CompiledScenario:
+    """A runnable workload: what the simulation engine consumes."""
+
+    spec: ScenarioSpec
+    horizon: float
+    initial: List[InitialMember]
+    #: time-sorted good churn, in struct-of-arrays block form
+    blocks: List[ChurnBlock]
+    #: events to push into the queue before run() (Sybil exoduses)
+    scheduled: List[Event] = dataclass_field(default_factory=list)
+
+    def summary(self) -> dict:
+        """Workload-shape statistics (trace side only, defense-free)."""
+        joins = 0
+        departures = 0
+        bins: dict = {}
+        for block in self.blocks:
+            kinds = block.kinds
+            block_joins = int(np.count_nonzero(kinds == JOIN))
+            joins += block_joins
+            departures += len(block) - block_joins
+            # Peak join rate: max joins falling into any 1-second bin.
+            if block_joins:
+                join_times = block.times[kinds == JOIN]
+                seconds, counts = np.unique(
+                    np.floor(join_times).astype(np.int64), return_counts=True
+                )
+                for sec, cnt in zip(seconds.tolist(), counts.tolist()):
+                    bins[sec] = bins.get(sec, 0) + cnt
+        return {
+            "horizon": self.horizon,
+            "initial_members": len(self.initial),
+            "good_joins": joins,
+            "good_departures": departures,
+            "peak_join_rate": max(bins.values()) if bins else 0,
+            "scheduled_bad_departure_batches": len(self.scheduled),
+        }
+
+
+class _Compiler:
+    """Single-pass phase walker (one instance per compile call)."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        rng: np.random.Generator,
+        sessions: SessionDistribution,
+        n0: int,
+    ) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.sessions = sessions
+        self.now = 0.0
+        #: coarse population estimate (sizes fraction-based phases)
+        self.pop = float(n0)
+        self.blocks: List[ChurnBlock] = []
+        self.scheduled: List[Event] = []
+
+    # -- helpers -------------------------------------------------------
+    def equilibrium_rate(self) -> float:
+        return max(self.pop, 1.0) / self.sessions.mean()
+
+    def emit(self, blocks) -> int:
+        """Collect a block stream; returns the number of rows emitted."""
+        rows = 0
+        for block in blocks:
+            if len(block):
+                self.blocks.append(block)
+                rows += len(block)
+        return rows
+
+    def join_burst(self, count: int, start: float, duration: float) -> int:
+        """``count`` joins with sessions, uniform over the window."""
+        if count <= 0:
+            return 0
+        width = max(duration, 1e-9)
+        times = np.sort(self.rng.uniform(start, start + width, size=count))
+        self.blocks.append(
+            ChurnBlock(
+                times,
+                np.full(count, JOIN, dtype=np.uint8),
+                sessions=sample_session_array(self.sessions, self.rng, count),
+            )
+        )
+        return count
+
+    def departure_burst(self, count: int, start: float, duration: float) -> int:
+        """``count`` anonymous departures, uniform over the window."""
+        if count <= 0:
+            return 0
+        width = max(duration, 1e-9)
+        times = np.sort(self.rng.uniform(start, start + width, size=count))
+        self.blocks.append(
+            ChurnBlock(times, np.full(count, DEPART, dtype=np.uint8))
+        )
+        return count
+
+    # -- phase compilers ----------------------------------------------
+    def compile_phase(self, phase) -> None:
+        start = self.now
+        if isinstance(phase, SteadyState):
+            rate = (
+                phase.rate
+                if phase.rate is not None
+                else self.equilibrium_rate() * phase.rate_scale
+            )
+            self.emit(
+                poisson_join_blocks(
+                    rate=rate,
+                    session_dist=self.sessions,
+                    rng=self.rng,
+                    horizon=start + phase.duration,
+                    start=start,
+                )
+            )
+            self.now = start + phase.duration
+        elif isinstance(phase, FlashCrowd):
+            joins = (
+                phase.joins
+                if phase.joins is not None
+                else int(round(phase.multiplier * self.pop))
+            )
+            rate = joins / max(phase.duration, 1e-9)
+            emitted = self.emit(
+                poisson_join_blocks(
+                    rate=rate,
+                    session_dist=self.sessions,
+                    rng=self.rng,
+                    horizon=start + phase.duration,
+                    start=start,
+                )
+            )
+            self.pop += emitted
+            self.now = start + phase.duration
+        elif isinstance(phase, DiurnalCycle):
+            base = (
+                phase.base_rate
+                if phase.base_rate is not None
+                else self.equilibrium_rate()
+            )
+            rate_fn = diurnal_rate(base, phase.amplitude, period=phase.period)
+            self.emit(
+                modulated_join_blocks(
+                    rate_fn=rate_fn,
+                    max_rate=base * (1.0 + phase.amplitude),
+                    session_dist=self.sessions,
+                    rng=self.rng,
+                    horizon=start + phase.duration,
+                    start=start,
+                )
+            )
+            self.now = start + phase.duration
+        elif isinstance(phase, MassExodus):
+            count = (
+                phase.count
+                if phase.count is not None
+                else int(round(phase.fraction * self.pop))
+            )
+            self.departure_burst(count, start, phase.duration)
+            self.pop = max(self.pop - count, 0.0)
+            self.now = start + phase.duration
+        elif isinstance(phase, PartitionRejoin):
+            count = int(round(phase.fraction * self.pop))
+            self.departure_burst(count, start, phase.exodus_window)
+            rejoin_at = start + phase.exodus_window + phase.away
+            self.join_burst(count, rejoin_at, phase.rejoin_window)
+            self.now = start + phase.duration
+        elif isinstance(phase, Silence):
+            self.now = start + phase.duration
+        elif isinstance(phase, TraceReplay):
+            self.compile_replay(phase, start)
+            self.now = start + phase.duration
+        elif isinstance(phase, SybilExodus):
+            count = phase.count if phase.count is not None else (1 << 62)
+            per_batch = max(count // phase.batches, 1)
+            step = phase.duration / phase.batches
+            for i in range(phase.batches):
+                self.scheduled.append(
+                    BadDepartureBatch(time=start + i * step, count=per_batch)
+                )
+            self.now = start + phase.duration
+        else:  # pragma: no cover - spec validation rejects these earlier
+            raise TypeError(f"unknown phase type: {type(phase).__name__}")
+
+    def compile_replay(self, phase: TraceReplay, start: float) -> None:
+        path = Path(phase.path)
+        if not path.is_absolute():
+            packaged = DATA_DIR / path
+            if packaged.exists():
+                path = packaged
+        events = load_trace_csv(path)
+        if not events:
+            return
+        events.sort(key=lambda e: e.time)
+        origin = events[0].time
+        shifted: List[Event] = []
+        joins = 0
+        for event in events:
+            t = (event.time - origin) * phase.time_scale
+            if t > phase.duration:
+                break
+            if isinstance(event, GoodJoin):
+                shifted.append(
+                    GoodJoin(
+                        time=start + t, ident=event.ident, session=event.session
+                    )
+                )
+                joins += 1
+            else:
+                shifted.append(GoodDeparture(time=start + t, ident=event.ident))
+        self.emit(blocks_from_events(shifted))
+        # Replayed departures name explicit replay idents, so they do
+        # not shrink the anonymous background population estimate.
+        self.pop += joins
+
+
+def compile_scenario(
+    spec: ScenarioSpec,
+    rng: np.random.Generator,
+    n0_scale: float = 1.0,
+) -> CompiledScenario:
+    """Materialize a spec into a runnable, deterministic workload.
+
+    ``n0_scale`` scales the initial population; every population-derived
+    quantity (equilibrium rates, fraction-based exodus sizes, flash
+    crowd multipliers) follows automatically, so ``--quick`` runs are
+    shape-preserving miniatures of the full scenario.
+    """
+    if n0_scale <= 0:
+        raise ValueError(f"n0_scale must be positive: {n0_scale}")
+    sessions = spec.sessions.build()
+    n0 = max(int(round(spec.n0 * n0_scale)), 1)
+    if spec.equilibrium:
+        draw = EquilibriumResidualSampler(sessions).sample
+    else:
+        draw = sessions.sample
+    initial = [
+        InitialMember(ident=f"{spec.name}-init-{i}", residual=draw(rng))
+        for i in range(n0)
+    ]
+    compiler = _Compiler(spec, rng, sessions, n0)
+    for phase in spec.phases:
+        compiler.compile_phase(phase)
+    _check_sorted(compiler.blocks, spec.name)
+    return CompiledScenario(
+        spec=spec,
+        horizon=compiler.now,
+        initial=initial,
+        blocks=compiler.blocks,
+        scheduled=sorted(compiler.scheduled, key=lambda e: e.time),
+    )
+
+
+def _check_sorted(blocks: Sequence[ChurnBlock], name: str) -> None:
+    """Phases compile sequentially, so blocks must chain in time order."""
+    last = float("-inf")
+    for block in blocks:
+        if len(block) == 0:
+            continue
+        if block.times[0] < last:
+            raise ValueError(
+                f"scenario {name!r} compiled out of order: block starting at "
+                f"{block.times[0]} follows time {last}"
+            )
+        last = float(block.times[-1])

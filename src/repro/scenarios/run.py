@@ -1,0 +1,214 @@
+"""Run catalog scenarios against the defense suite.
+
+One scenario x defense x seed triple is a :class:`ScenarioPointSpec` --
+a frozen, picklable coordinate, like the figure sweeps' ``PointSpec`` --
+and :func:`run_scenario_point` is the module-level worker entry, so the
+catalog fans out over :func:`repro.experiments.parallel.parallel_map`
+with the same determinism story: per-point seeds derived by SHA-256 from
+the run seed and the point coordinates, results collected in submission
+order.  Same seed, same machine => byte-identical metrics JSON.
+
+Each run reports a flat metrics row: spend totals and rates, the peak
+bad fraction, workload shape (peak join rate, joins/departures) and
+path accounting (fraction of good joins applied through the engine's
+zero-heap fast path).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversary.base import Adversary
+from repro.adversary.schedule import ScheduledAdversary, periodic_windows
+from repro.adversary.strategies import BurstyJoinAdversary, GreedyJoinAdversary
+from repro.baselines.ccom import CCom
+from repro.baselines.remp import Remp
+from repro.baselines.sybilcontrol import SybilControl
+from repro.core.ergo import Ergo, ErgoConfig
+from repro.core.protocol import Defense
+from repro.experiments.config import KAPPA
+from repro.experiments.parallel import derive_seed, parallel_map
+from repro.experiments.runner import adversary_for
+from repro.scenarios.catalog import get_scenario, scenario_names
+from repro.scenarios.compile import compile_scenario
+from repro.scenarios.spec import AttackSchedule, ScenarioSpec
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.null_defense import NullDefense
+from repro.sim.rng import RngRegistry
+
+#: The defense suite every scenario runs against, in report order.
+SCENARIO_DEFENSES = ("ERGO", "CCOM", "SybilControl", "REMP", "Null")
+
+#: REMP's provisioning assumption (matches the Figure 8 setup).
+REMP_T_MAX = 1.0e7
+
+
+def build_defense(name: str) -> Defense:
+    """Construct one of the five suite defenses by report name."""
+    if name == "ERGO":
+        return Ergo(ErgoConfig(kappa=KAPPA))
+    if name == "CCOM":
+        return CCom(ErgoConfig(kappa=KAPPA))
+    if name == "SybilControl":
+        return SybilControl()
+    if name == "REMP":
+        return Remp(t_max=REMP_T_MAX, kappa=KAPPA)
+    if name == "Null":
+        return NullDefense()
+    known = ", ".join(SCENARIO_DEFENSES)
+    raise KeyError(f"unknown defense {name!r}; choose from: {known}")
+
+
+def build_adversary(
+    schedule: AttackSchedule,
+    t_rate: float,
+    defense: Defense,
+    horizon: float,
+) -> Optional[Adversary]:
+    """Materialize an attack schedule for one run."""
+    if schedule.profile == "off" or t_rate <= 0:
+        return None
+    start = schedule.start
+    end = schedule.end if schedule.end is not None else horizon
+    if schedule.profile == "flapping":
+        return ScheduledAdversary(
+            GreedyJoinAdversary(rate=t_rate),
+            periodic_windows(schedule.on, schedule.off, start, end),
+            withdraw_on_close=True,
+        )
+    if schedule.profile == "burst":
+        inner: Adversary = BurstyJoinAdversary(
+            rate=t_rate, burst_period=schedule.burst_period
+        )
+    else:  # sustained: the defense-appropriate strongest attack
+        inner = adversary_for(defense, t_rate)
+        if inner is None:
+            return None
+    if start > 0 or end < horizon:
+        return ScheduledAdversary(inner, [(start, end)])
+    return inner
+
+
+@dataclass(frozen=True)
+class ScenarioPointSpec:
+    """One picklable (scenario, defense) run coordinate."""
+
+    scenario: str
+    defense: str
+    seed: int
+    t_rate: float
+    n0_scale: float = 1.0
+
+
+def resolve_t_rate(spec: ScenarioSpec, override: Optional[float]) -> float:
+    """CLI override > schedule's pinned rate > the spec default."""
+    if override is not None:
+        return float(override)
+    if spec.attack.t_rate is not None:
+        return float(spec.attack.t_rate)
+    return float(spec.default_t_rate)
+
+
+def run_scenario_point(point: ScenarioPointSpec) -> Dict:
+    """Simulate one (scenario, defense) coordinate; returns a flat row."""
+    spec = get_scenario(point.scenario)
+    rngs = RngRegistry(seed=point.seed)
+    compiled = compile_scenario(
+        spec, rngs.stream(f"scenario.{spec.name}"), n0_scale=point.n0_scale
+    )
+    defense = build_defense(point.defense)
+    adversary = build_adversary(
+        spec.attack, point.t_rate, defense, compiled.horizon
+    )
+    sim = Simulation(
+        SimulationConfig(horizon=compiled.horizon, seed=point.seed),
+        defense,
+        iter(compiled.blocks),
+        adversary=adversary,
+        rngs=rngs,
+        initial_members=compiled.initial,
+    )
+    for event in compiled.scheduled:
+        sim.queue.push(event)
+    result = sim.run()
+    counters = result.counters
+    joins = counters.get("good_join_events", 0)
+    fast_joins = counters.get("good_joins_fast", 0)
+    shape = compiled.summary()
+    return {
+        "scenario": point.scenario,
+        "defense": point.defense,
+        "seed": point.seed,
+        "t_rate": point.t_rate,
+        "n0_scale": point.n0_scale,
+        "horizon": compiled.horizon,
+        "initial_members": shape["initial_members"],
+        "good_joins": joins,
+        "good_departures": counters.get("good_departure_events", 0),
+        "bad_departures": counters.get("bad_departure_events", 0),
+        "sybil_withdrawals": counters.get("sybil_withdrawals", 0),
+        "peak_join_rate": shape["peak_join_rate"],
+        "good_spend": result.good_spend,
+        "good_spend_rate": result.good_spend_rate,
+        "adversary_spend": result.adversary_spend,
+        "adversary_spend_rate": result.adversary_spend_rate,
+        "max_bad_fraction": result.max_bad_fraction,
+        "final_size": result.final_system_size,
+        "fast_join_fraction": fast_joins / joins if joins else 0.0,
+        "churn_events_fast": counters.get("churn_events_fast", 0),
+        "churn_events_heap": counters.get("churn_events_heap", 0),
+        "queue_max_size": counters.get("queue_max_size", 0),
+    }
+
+
+def build_points(
+    scenarios: Sequence[str],
+    defenses: Sequence[str],
+    seed: int,
+    t_rate: Optional[float] = None,
+    n0_scale: float = 1.0,
+) -> List[ScenarioPointSpec]:
+    """The scenario-major, defense-minor grid of run coordinates."""
+    points: List[ScenarioPointSpec] = []
+    for scenario_name in scenarios:
+        spec = get_scenario(scenario_name)
+        rate = resolve_t_rate(spec, t_rate)
+        for defense in defenses:
+            points.append(
+                ScenarioPointSpec(
+                    scenario=scenario_name,
+                    defense=defense,
+                    seed=derive_seed(seed, scenario_name, defense, rate),
+                    t_rate=rate,
+                    n0_scale=n0_scale,
+                )
+            )
+    return points
+
+
+def run_catalog(
+    scenarios: Optional[Sequence[str]] = None,
+    defenses: Sequence[str] = SCENARIO_DEFENSES,
+    seed: int = 2021,
+    t_rate: Optional[float] = None,
+    n0_scale: float = 1.0,
+    jobs: int = 1,
+) -> Dict:
+    """Run scenarios x defenses and collect the metrics report."""
+    names = list(scenarios) if scenarios is not None else scenario_names()
+    points = build_points(names, defenses, seed, t_rate, n0_scale)
+    rows = parallel_map(run_scenario_point, points, jobs=jobs)
+    return {
+        "seed": seed,
+        "n0_scale": n0_scale,
+        "scenarios": names,
+        "defenses": list(defenses),
+        "rows": rows,
+    }
+
+
+def report_json(report: Dict) -> str:
+    """Deterministic serialization (sorted keys, fixed separators)."""
+    return json.dumps(report, indent=2, sort_keys=True)

@@ -62,6 +62,7 @@ from repro.sim.blocks import ChurnBlock, flatten_churn
 from repro.sim.clock import Clock
 from repro.sim.events import (
     BadDeparture,
+    BadDepartureBatch,
     Callback,
     Event,
     GoodDeparture,
@@ -93,6 +94,7 @@ PATH_COUNTERS = (
     "queue_max_size",
     "churn_events_fast",
     "churn_events_heap",
+    "good_joins_fast",
 )
 
 _INF = float("inf")
@@ -253,10 +255,14 @@ class Simulation:
         self._bad_departure_events = 0
         #: good-churn rows applied via the zero-heap block fast path
         self._fast_churn_events = 0
+        #: the join-only subset of the above (scenario summaries report
+        #: "fraction of good joins on the fast path")
+        self._fast_join_events = 0
         self._handlers: dict = {
             GoodJoin: self._handle_good_join,
             GoodDeparture: self._handle_good_departure,
             BadDeparture: self._handle_bad_departure,
+            BadDepartureBatch: self._handle_bad_departure_batch,
             Tick: self._handle_tick,
             Callback: self._handle_callback,
             str: self._handle_session_departure,
@@ -406,6 +412,7 @@ class Simulation:
         pops = 0
         churn_pushes = 0
         fast_events = 0
+        fast_joins = 0
         max_size = queue.max_size
         # Same-instant tie tracking (block mode): when the frontier
         # first reaches a time t, one seq is burned as a watermark;
@@ -549,6 +556,7 @@ class Simulation:
                                 times_seg, ids_seg
                             )
                             self._good_join_events += k
+                            fast_joins += k
                             if bs is not None:
                                 off = bi
                                 for uid in admitted:
@@ -677,6 +685,7 @@ class Simulation:
         self._block_idents = bid
         self._block_index = bi
         self._fast_churn_events += fast_events
+        self._fast_join_events += fast_joins
         if adversary is not None:
             self._adversary_wake = adv_wake
         self._next_sample = next_sample
@@ -749,6 +758,22 @@ class Simulation:
         self._bad_departure_events += 1
         self.defense.process_bad_departure(event.ident)
 
+    def _handle_bad_departure_batch(
+        self, event: BadDepartureBatch, now: float
+    ) -> None:
+        """A scheduled Sybil mass withdrawal: one heap entry, one call.
+
+        Counts only the departures the schedule delivered (a batch
+        larger than the standing Sybil population withdraws what is
+        there, and purge evictions tripped along the way stay out --
+        they are tallied by the defense's own counters), so
+        ``bad_departure_events`` keeps meaning "withdrawals the
+        adversary's schedule performed".
+        """
+        self._bad_departure_events += self.defense.process_bad_departure_batch(
+            event.count
+        )
+
     def _handle_tick(self, event: Tick, now: float) -> None:
         """Externally pushed ``Tick`` events (tests, custom schedules)."""
         self.defense.on_tick(now)
@@ -803,7 +828,9 @@ class Simulation:
         # between the fast path and the per-event path.
         counters.add("churn_events_fast", self._fast_churn_events)
         counters.add("churn_events_heap", churn_total - self._fast_churn_events)
+        counters.add("good_joins_fast", self._fast_join_events)
         self._fast_churn_events = 0
+        self._fast_join_events = 0
         if self._good_join_events:
             counters.add("good_join_events", self._good_join_events)
             self._good_join_events = 0

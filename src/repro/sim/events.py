@@ -102,6 +102,24 @@ class BadDeparture(Event):
 
 
 @dataclass(frozen=True)
+class BadDepartureBatch(Event):
+    """The adversary withdraws up to ``count`` of its IDs at one instant.
+
+    The block form of a bad-departure schedule: a synchronized Sybil
+    exodus (mass withdrawal, relay flapping) is one heap entry handled by
+    :meth:`repro.core.protocol.Defense.process_bad_departure_batch`
+    instead of ``count`` separate :class:`BadDeparture` objects.  Bad IDs
+    are an aggregate population (the adversary has perfect collusion, so
+    only the count matters); ``count`` in excess of the standing Sybil
+    population withdraws everything that is present.
+    """
+
+    count: int = 1
+
+    kind: ClassVar[EventKind] = EventKind.BAD_DEPARTURE
+
+
+@dataclass(frozen=True)
 class Tick(Event):
     """A periodic opportunity for adversary/defense housekeeping."""
 

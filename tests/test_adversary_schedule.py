@@ -1,0 +1,132 @@
+"""Windowed attack schedules and the flapping profile."""
+
+import pickle
+
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.adversary.schedule import (
+    AttackWindow,
+    ScheduledAdversary,
+    periodic_windows,
+    validate_windows,
+)
+from repro.adversary.strategies import GreedyJoinAdversary
+from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.null_defense import NullDefense
+
+
+class RecordingAdversary(Adversary):
+    """Inner strategy that records every act() time."""
+
+    name = "recording"
+
+    def __init__(self):
+        super().__init__()
+        self.act_times = []
+
+    def act(self, now):
+        self.act_times.append(now)
+
+    def respond_to_purge(self, bad_count, max_keep, now):
+        return 7
+
+
+class TestWindows:
+    def test_attack_window_validation(self):
+        with pytest.raises(ValueError, match="end > start"):
+            AttackWindow(5.0, 5.0)
+
+    def test_attack_window_pickles(self):
+        window = AttackWindow(1.0, 2.0)
+        clone = pickle.loads(pickle.dumps(window))
+        assert clone == window and clone.start == 1.0 and clone.end == 2.0
+
+    def test_periodic_windows_layout(self):
+        windows = periodic_windows(on=10.0, off=5.0, start=0.0, end=40.0)
+        assert [(w.start, w.end) for w in windows] == [
+            (0.0, 10.0), (15.0, 25.0), (30.0, 40.0),
+        ]
+
+    def test_periodic_windows_clip_final(self):
+        windows = periodic_windows(on=10.0, off=10.0, start=0.0, end=25.0)
+        assert [(w.start, w.end) for w in windows] == [(0.0, 10.0), (20.0, 25.0)]
+
+    def test_periodic_no_darkness_collapses(self):
+        windows = periodic_windows(on=10.0, off=0.0, start=5.0, end=50.0)
+        assert [(w.start, w.end) for w in windows] == [(5.0, 50.0)]
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            validate_windows([(0.0, 10.0), (5.0, 15.0)])
+
+
+def _run(adversary, horizon=300.0):
+    sim = Simulation(
+        SimulationConfig(horizon=horizon, tick_interval=1.0, seed=1),
+        NullDefense(),
+        [],
+        adversary=adversary,
+    )
+    return sim, sim.run()
+
+
+class TestScheduledAdversary:
+    def test_inner_only_acts_inside_windows(self):
+        inner = RecordingAdversary()
+        scheduled = ScheduledAdversary(inner, [(100.0, 200.0)])
+        _run(scheduled)
+        assert inner.act_times, "inner never activated"
+        assert min(inner.act_times) >= 100.0
+        assert max(inner.act_times) < 200.0
+
+    def test_greedy_spend_confined_to_window(self):
+        # Rate 2/s over a 300 s horizon, attacking only in [100, 200):
+        # the saved budget floods at the window open, then accrual-rate
+        # spending; nothing before 100 or after 200.
+        scheduled = ScheduledAdversary(GreedyJoinAdversary(rate=2.0), [(100.0, 200.0)])
+        sim, result = _run(scheduled)
+        # All 300 s of accrual get spent inside the window.
+        assert result.adversary_spend == pytest.approx(400.0, abs=4.0)
+
+    def test_withdraw_on_close_drains_sybils(self):
+        scheduled = ScheduledAdversary(
+            GreedyJoinAdversary(rate=4.0),
+            periodic_windows(on=50.0, off=50.0, start=0.0, end=250.0),
+            withdraw_on_close=True,
+        )
+        sim, result = _run(scheduled)
+        withdrawals = result.counters.get("sybil_withdrawals", 0)
+        assert withdrawals > 0
+        # Null never evicts, so withdrawals + still-standing = all joins.
+        defense = sim.defense
+        joined = withdrawals + defense.bad_count()
+        assert joined == pytest.approx(result.adversary_spend)
+
+    def test_purge_response_gated_by_window(self):
+        inner = RecordingAdversary()
+        scheduled = ScheduledAdversary(inner, [(100.0, 200.0)])
+        _run(scheduled, horizon=50.0)
+        assert scheduled.respond_to_purge(10, 5, now=150.0) == 7
+        assert scheduled.respond_to_purge(10, 5, now=250.0) == 0
+
+    def test_wrapper_is_the_registered_adversary(self):
+        inner = RecordingAdversary()
+        scheduled = ScheduledAdversary(inner, [(0.0, 10.0)])
+        sim, _ = _run(scheduled, horizon=20.0)
+        assert sim.defense._adversary is scheduled
+
+    def test_sleeps_until_first_window(self):
+        scheduled = ScheduledAdversary(RecordingAdversary(), [(100.0, 200.0)])
+        sim = Simulation(
+            SimulationConfig(horizon=300.0, tick_interval=1.0, seed=1),
+            NullDefense(),
+            [],
+            adversary=scheduled,
+        )
+        assert scheduled.next_wake(0.0) == 100.0
+        assert scheduled.next_wake(150.0) <= 200.0
+
+    def test_needs_at_least_one_window(self):
+        with pytest.raises(ValueError, match="at least one window"):
+            ScheduledAdversary(RecordingAdversary(), [])

@@ -75,3 +75,95 @@ class TestCsvRoundTrip:
 
         with pytest.raises(TypeError):
             save_trace_csv(tmp_path / "t.csv", [Tick(time=0.0)])
+
+
+class TestBlockModeCsvRoundTrip:
+    """Scenario-emitted churn blocks survive the CSV round-trip.
+
+    Scenarios compile straight to struct-of-arrays blocks; exporting
+    them with ``save_trace_csv`` and loading them back must preserve
+    event order, kinds, idents, and same-instant ties (rows stay in
+    file order, which is pump-admission order).
+    """
+
+    def _compiled_blocks(self):
+        import numpy as np
+
+        from repro.scenarios.compile import compile_scenario
+        from repro.scenarios.spec import (
+            FlashCrowd,
+            MassExodus,
+            ScenarioSpec,
+            SteadyState,
+        )
+
+        spec = ScenarioSpec(
+            name="roundtrip",
+            description="csv round-trip fixture",
+            phases=(
+                SteadyState(duration=40.0),
+                FlashCrowd(duration=5.0, joins=60),
+                MassExodus(duration=5.0, count=25),
+            ),
+            n0=50,
+        )
+        return compile_scenario(spec, np.random.default_rng(13)).blocks
+
+    def test_scenario_blocks_round_trip(self, tmp_path):
+        from repro.sim.blocks import blocks_from_events, flatten_churn
+
+        blocks = self._compiled_blocks()
+        original = list(flatten_churn(blocks))
+        assert original, "fixture produced no churn"
+        path = tmp_path / "blocks.csv"
+        save_trace_csv(path, blocks)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(original)
+        for orig, back in zip(original, loaded):
+            assert type(back) is type(orig)
+            assert back.ident == orig.ident
+            # save_trace_csv writes times at 6 decimal places.
+            assert back.time == pytest.approx(orig.time, abs=1e-6)
+        # Times stay non-decreasing, so the loaded trace re-packs into
+        # engine-ready blocks (this is the block-mode round trip).
+        repacked = list(blocks_from_events(loaded))
+        flat = list(flatten_churn(repacked))
+        assert [type(e) for e in flat] == [type(e) for e in loaded]
+        assert [e.time for e in flat] == [e.time for e in loaded]
+
+    def test_same_instant_ties_preserved(self, tmp_path):
+        from repro.sim.blocks import ChurnBlock, flatten_churn
+
+        # A synchronized burst: three joins and a departure at t=10.0,
+        # in a deliberate order that only file order can preserve.
+        block = ChurnBlock(
+            [10.0, 10.0, 10.0, 10.0],
+            [0, 0, 1, 0],
+            idents=["j1", "j2", "victim", "j3"],
+        )
+        path = tmp_path / "ties.csv"
+        save_trace_csv(path, [block])
+        loaded = load_trace_csv(path)
+        assert [e.ident for e in loaded] == ["j1", "j2", "victim", "j3"]
+        assert [type(e) for e in loaded] == [
+            GoodJoin, GoodJoin, GoodDeparture, GoodJoin,
+        ]
+
+    def test_session_kinds_survive(self, tmp_path):
+        import numpy as np
+
+        from repro.sim.blocks import ChurnBlock
+
+        block = ChurnBlock(
+            [1.0, 2.0, 3.0],
+            [0, 0, 1],
+            sessions=np.asarray([5.5, float("nan"), float("nan")]),
+            idents=["a", None, "a"],
+        )
+        path = tmp_path / "sessions.csv"
+        save_trace_csv(path, [block])
+        loaded = load_trace_csv(path)
+        assert loaded[0].session == pytest.approx(5.5)
+        assert loaded[1].session is None
+        assert loaded[1].ident is None
+        assert isinstance(loaded[2], GoodDeparture)

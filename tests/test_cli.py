@@ -1,6 +1,6 @@
 """Tests for the command-line entry point."""
 
-from repro.__main__ import COMMANDS, main
+from repro.__main__ import COMMANDS, FIGURE_COMMANDS, main
 
 
 def test_help_exits_zero(capsys):
@@ -19,7 +19,7 @@ def test_unknown_command(capsys):
 
 
 def test_all_experiments_registered():
-    assert set(COMMANDS) == {
+    assert set(FIGURE_COMMANDS) == {
         "figure8",
         "figure9",
         "figure10",
@@ -28,6 +28,15 @@ def test_all_experiments_registered():
         "ablations",
         "sensitivity",
     }
+    # ``all`` regenerates the figures only; scenarios ride their own CLI.
+    assert set(COMMANDS) == set(FIGURE_COMMANDS) | {"scenarios"}
+
+
+def test_scenarios_subcommand_routed(capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "flash-crowd" in out
+    assert main(["scenarios", "bogus"]) == 2
 
 
 def test_committee_quick_runs_end_to_end(capsys, tmp_path, monkeypatch):

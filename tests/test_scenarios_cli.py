@@ -1,0 +1,89 @@
+"""The ``python -m repro scenarios`` command-line surface."""
+
+import json
+
+import pytest
+
+import repro.experiments.report as report_mod
+from repro.scenarios.catalog import scenario_names
+from repro.scenarios.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _redirect_results(tmp_path, monkeypatch):
+    monkeypatch.setattr(report_mod, "RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_help(capsys):
+    assert main(["--help"]) == 0
+    out = capsys.readouterr().out
+    assert "scenarios run" in out
+
+
+def test_list_shows_all_catalog_entries(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_unknown_subcommand(capsys):
+    assert main(["frobnicate"]) == 2
+
+
+def test_unknown_scenario_exits_with_choices():
+    with pytest.raises(SystemExit, match="flash-crowd"):
+        main(["run", "nope"])
+
+
+def test_unknown_option_rejected():
+    with pytest.raises(SystemExit, match="--frob"):
+        main(["run", "flash-crowd", "--frob", "--quick"])
+
+
+def test_unknown_defense_fails_fast():
+    # A typo'd defense must not surface as a worker-process KeyError.
+    with pytest.raises(SystemExit, match="Ergo"):
+        main(["run", "flash-crowd", "--defense", "Ergo", "--quick"])
+
+
+def test_run_writes_metrics_json(tmp_path, capsys, _redirect_results):
+    json_path = tmp_path / "out.json"
+    code = main(
+        [
+            "run", "flash-crowd",
+            "--defense", "Null",
+            "--quick",
+            "--seed", "3",
+            "--jobs", "1",
+            "--json", str(json_path),
+        ]
+    )
+    assert code == 0
+    report = json.loads(json_path.read_text())
+    assert report["scenarios"] == ["flash-crowd"]
+    assert report["defenses"] == ["Null"]
+    (row,) = report["rows"]
+    assert row["scenario"] == "flash-crowd"
+    assert row["good_joins"] > 0
+    # The default report lands in results/ too.
+    assert (_redirect_results / "scenarios.json").exists()
+    out = capsys.readouterr().out
+    assert "flash-crowd" in out
+
+
+def test_run_same_seed_same_json(tmp_path, _redirect_results):
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path in paths:
+        main(
+            [
+                "run", "mass-exodus",
+                "--defense", "ERGO",
+                "--quick",
+                "--seed", "5",
+                "--jobs", "1",
+                "--json", str(path),
+            ]
+        )
+    assert paths[0].read_text() == paths[1].read_text()
