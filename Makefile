@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke scenarios bench-quick bench-scale perf-trend
+.PHONY: test smoke scenarios bench-quick bench-scale bench-membership perf-trend
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,10 +20,16 @@ scenarios:
 bench-quick:
 	$(PYTHON) benchmarks/bench_sweep.py --quick --jobs 2 --json BENCH_micro.json
 
-# The 10^5-good-ID flash-crowd scale benchmark (fails if any defense
-# blows the wall-time budget or the fast path does not engage).
+# The flash-crowd scale benchmark: 10^5-ID regression tier plus the
+# 10^6-ID arena tier (fails if any defense blows the wall-time budget
+# or the fast path does not engage).
 bench-scale:
 	$(PYTHON) benchmarks/bench_scale.py --json BENCH_scale.json
+
+# Membership-backend micro (dict vs arena join/remove/random_good);
+# merges membership_* keys into BENCH_micro.json for the perf trend.
+bench-membership:
+	$(PYTHON) benchmarks/bench_membership.py --json BENCH_micro.json
 
 # Compare freshly produced BENCH_*.json against the committed snapshots
 # and flag >20% regressions (advisory; --strict to fail).

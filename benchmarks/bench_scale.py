@@ -1,27 +1,41 @@
-"""Large-population scale benchmark: a 10^5-good-ID flash crowd.
+"""Large-population scale benchmark: flash crowds at 10^5 and 10^6 IDs.
 
 The related-systems literature (SybilControl, Tor Sybil
 characterization) evaluates at populations of 10^5+ IDs -- a regime the
-per-event churn path could not reach in reasonable wall time.  This
-benchmark drives a flash crowd of ``N_JOINS`` good IDs arriving in a
-``BURST_S``-second burst (Poisson, block-mode churn) with exponential
-sessions, against three defenses:
+per-event churn path could not reach in reasonable wall time -- and the
+paper's guarantees are asymptotic, only separating Ergo from the
+baselines at large n.  This benchmark drives Poisson flash crowds of
+good IDs (block-mode churn, exponential sessions) against three
+defenses:
 
 * ``null``         -- engine floor: scheduling + membership only;
 * ``sybilcontrol`` -- recurring-cost baseline (periodic test cycles);
 * ``ergo``         -- the paper's defense: window pricing, GoodJEst,
-  purges, all at 10^5 scale.
+  purges.
 
-Each run must finish within ``BUDGET_S`` seconds of wall time and must
-process at least 95% of the trace's joins through the engine's
-zero-heap fast path (``churn_events_fast``), which is what makes the
-scale reachable.
+Two tiers run:
+
+* the standard tier (``N_JOINS`` = 10^5 over ``BURST_S`` s) -- the
+  regression-tracked rows (``runs``) that ``perf_trend.py`` compares
+  against the committed snapshot;
+* the XL tier (``XL_JOINS`` = 10^6) -- the arena-backed membership
+  milestone: a million-ID crowd must finish in single-digit seconds
+  per defense (``runs_xl``), within ``XL_BUDGET_S`` as a hard cap.
+
+Each run must process at least 95% of the trace's joins through the
+engine's zero-heap fast path (``churn_events_fast``), which is what
+makes the scale reachable.  Standard-tier wall times are the best of
+``REPEATS`` back-to-back runs (the simulations are deterministic, so
+repetition only filters scheduler/turbo noise out of the regression
+signal); the XL tier runs ``XL_REPEATS`` times to keep CI wall time
+bounded, so treat its trend rows as noisier.
 
 Run (writes ``BENCH_scale.json`` when ``--json`` is given)::
 
     PYTHONPATH=src python benchmarks/bench_scale.py --json BENCH_scale.json
 
-or simply ``make bench-scale``.
+``--skip-xl`` drops the 10^6 tier (for very constrained CI boxes);
+``make bench-scale`` runs both tiers.
 """
 
 from __future__ import annotations
@@ -39,16 +53,31 @@ from repro.sim.engine import Simulation, SimulationConfig
 from repro.sim.null_defense import NullDefense
 from repro.sim.rng import RngRegistry
 
-#: Flash-crowd shape: N_JOINS good IDs over BURST_S seconds, sessions
-#: long enough that the crowd is still around when the burst ends.
+#: Standard tier: N_JOINS good IDs over BURST_S seconds, sessions long
+#: enough that the crowd is still around when the burst ends.
 N_JOINS = 100_000
 BURST_S = 200.0
 MEAN_SESSION_S = 600.0
 HORIZON_S = 1_000.0
 
-#: Wall-time budget per defense run ("finishing in seconds", documented
-#: in EXPERIMENTS.md).  Generous enough for CI machines.
+#: XL tier: a million-ID crowd.  Sessions are long relative to the
+#: burst so the standing population actually reaches ~10^6.
+XL_JOINS = 1_000_000
+XL_BURST_S = 200.0
+XL_MEAN_SESSION_S = 3_000.0
+XL_HORIZON_S = 400.0
+
+#: Wall-time budgets per defense run (documented in EXPERIMENTS.md).
+#: Generous enough for CI machines; the XL target is single-digit
+#: seconds on a developer box.
 BUDGET_S = 60.0
+XL_BUDGET_S = 120.0
+
+#: Repetitions per defense; the best wall time is reported.  The XL
+#: tier repeats less: 3x three 10^6-ID runs would dominate CI wall
+#: time, and its budget is sized for the noise.
+REPEATS = 3
+XL_REPEATS = 1
 
 #: Minimum fraction of joins that must ride the zero-heap fast path.
 MIN_FAST_FRACTION = 0.95
@@ -60,38 +89,58 @@ DEFENSES: Dict[str, Callable] = {
 }
 
 
-def flash_crowd_blocks(seed: int = 7):
+def flash_crowd_blocks(
+    seed: int = 7,
+    n_joins: int = N_JOINS,
+    burst_s: float = BURST_S,
+    mean_session_s: float = MEAN_SESSION_S,
+):
     """The block-mode churn source for one run (fresh RNG each call)."""
     rngs = RngRegistry(seed=seed)
     return poisson_join_blocks(
-        rate=N_JOINS / BURST_S,
-        session_dist=ExponentialSessions(MEAN_SESSION_S),
+        rate=n_joins / burst_s,
+        session_dist=ExponentialSessions(mean_session_s),
         rng=rngs.stream("scale.flash"),
-        horizon=BURST_S,
+        horizon=burst_s,
     )
 
 
-def run_defense(name: str) -> dict:
-    """One flash-crowd run; returns the per-defense report row."""
-    defense = DEFENSES[name]()
-    sim = Simulation(
-        SimulationConfig(horizon=HORIZON_S, tick_interval=1.0, seed=7),
-        defense,
-        flash_crowd_blocks(),
-    )
-    start = time.perf_counter()
-    result = sim.run()
-    wall_s = time.perf_counter() - start
+def run_defense(
+    name: str,
+    n_joins: int = N_JOINS,
+    burst_s: float = BURST_S,
+    mean_session_s: float = MEAN_SESSION_S,
+    horizon_s: float = HORIZON_S,
+    budget_s: float = BUDGET_S,
+    repeats: int = REPEATS,
+) -> dict:
+    """Best-of-``repeats`` flash-crowd runs; returns the report row."""
+    best_wall = None
+    result = None
+    for _ in range(max(repeats, 1)):
+        defense = DEFENSES[name]()
+        sim = Simulation(
+            SimulationConfig(horizon=horizon_s, tick_interval=1.0, seed=7),
+            defense,
+            flash_crowd_blocks(
+                n_joins=n_joins, burst_s=burst_s, mean_session_s=mean_session_s
+            ),
+        )
+        start = time.perf_counter()
+        result = sim.run()
+        wall_s = time.perf_counter() - start
+        if best_wall is None or wall_s < best_wall:
+            best_wall = wall_s
     counters = result.counters
     joins = counters.get("good_join_events", 0)
     events = counters["queue_pops"] + counters["churn_events_fast"]
-    fast_fraction = counters["churn_events_fast"] / max(joins, 1)
+    fast_fraction = counters["good_joins_fast"] / max(joins, 1)
     return {
         "defense": name,
-        "wall_s": round(wall_s, 3),
-        "within_budget": wall_s <= BUDGET_S,
+        "wall_s": round(best_wall, 3),
+        "within_budget": best_wall <= budget_s,
         "events": events,
-        "events_per_sec": round(events / wall_s) if wall_s else None,
+        "events_per_sec": round(events / best_wall) if best_wall else None,
         "good_joins": joins,
         "final_size": result.final_system_size,
         "good_spend_rate": round(result.good_spend_rate, 3),
@@ -104,13 +153,19 @@ def run_defense(name: str) -> dict:
 
 def main(argv: List[str] = None) -> dict:
     args = list(argv if argv is not None else sys.argv[1:])
+    skip_xl = "--skip-xl" in args
     report = {
         "n_joins": N_JOINS,
         "burst_s": BURST_S,
         "mean_session_s": MEAN_SESSION_S,
         "horizon_s": HORIZON_S,
         "budget_s": BUDGET_S,
+        "repeats": REPEATS,
+        "xl_joins": XL_JOINS,
+        "xl_budget_s": XL_BUDGET_S,
+        "xl_repeats": XL_REPEATS,
         "runs": [],
+        "runs_xl": [],
     }
     ok = True
     for name in DEFENSES:
@@ -124,6 +179,26 @@ def main(argv: List[str] = None) -> dict:
             ok = False
             print(f"!! {name}: fast path carried only "
                   f"{row['fast_fraction']:.1%} of joins", file=sys.stderr)
+    if not skip_xl:
+        for name in DEFENSES:
+            row = run_defense(
+                name,
+                n_joins=XL_JOINS,
+                burst_s=XL_BURST_S,
+                mean_session_s=XL_MEAN_SESSION_S,
+                horizon_s=XL_HORIZON_S,
+                budget_s=XL_BUDGET_S,
+                repeats=XL_REPEATS,
+            )
+            report["runs_xl"].append(row)
+            if not row["within_budget"]:
+                ok = False
+                print(f"!! xl/{name}: {row['wall_s']}s exceeds the "
+                      f"{XL_BUDGET_S}s budget", file=sys.stderr)
+            if row["fast_fraction"] < MIN_FAST_FRACTION:
+                ok = False
+                print(f"!! xl/{name}: fast path carried only "
+                      f"{row['fast_fraction']:.1%} of joins", file=sys.stderr)
     report["ok"] = ok
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)

@@ -35,9 +35,19 @@ MICRO_METRICS = {
     "engine events/sec (heap path)": ("engine_events_per_sec_heap", True),
     "fast-path speedup": ("engine_fastpath_speedup", True),
     "quick sweep wall (s)": ("sweep_serial_s", False),
+    # membership floor (bench_membership.py merges these keys in)
+    "membership arena join (ns)": ("membership_arena_join_ns", False),
+    "membership arena batch join (ns)": ("membership_arena_join_batch_ns", False),
+    "membership arena remove (ns)": ("membership_arena_remove_ns", False),
+    "membership arena random_good (ns)": ("membership_arena_random_good_ns", False),
+    "membership dict-vs-arena batch speedup": (
+        "membership_arena_batch_speedup",
+        True,
+    ),
 }
 
-#: per-defense metrics from the scale snapshot's ``runs`` rows.
+#: per-defense metrics from the scale snapshot's ``runs`` rows (the
+#: ``runs_xl`` tier reports under a ``scale-xl/`` prefix).
 SCALE_METRICS = {
     "events/sec": ("events_per_sec", True),
     "wall (s)": ("wall_s", False),
@@ -123,21 +133,24 @@ def collect_rows(
             if row:
                 rows.append(row)
     if scale_fresh and scale_base:
-        base_runs = {r.get("defense"): r for r in scale_base.get("runs", [])}
-        for run in scale_fresh.get("runs", []):
-            base = base_runs.get(run.get("defense"))
-            if not base:
-                continue
-            for label, (key, higher) in SCALE_METRICS.items():
-                row = compare_metric(
-                    f"scale/{run['defense']}: {label}",
-                    base.get(key),
-                    run.get(key),
-                    higher,
-                    threshold,
-                )
-                if row:
-                    rows.append(row)
+        for tier, prefix in (("runs", "scale"), ("runs_xl", "scale-xl")):
+            base_runs = {
+                r.get("defense"): r for r in scale_base.get(tier, [])
+            }
+            for run in scale_fresh.get(tier, []):
+                base = base_runs.get(run.get("defense"))
+                if not base:
+                    continue
+                for label, (key, higher) in SCALE_METRICS.items():
+                    row = compare_metric(
+                        f"{prefix}/{run['defense']}: {label}",
+                        base.get(key),
+                        run.get(key),
+                        higher,
+                        threshold,
+                    )
+                    if row:
+                        rows.append(row)
     return rows
 
 

@@ -31,6 +31,10 @@ class CCom(Ergo):
     def quote_entrance_cost(self) -> float:
         return 1.0
 
+    def _batch_pricing(self):
+        """Flat 1-hard joins: the vectorized batch skips window quotes."""
+        return 1.0
+
     def process_good_join(self, ident: Optional[str] = None) -> Optional[str]:
         unique = self.ids.issue(ident if ident is not None else "g")
         self.accountant.charge_good(unique, 1.0, category="entrance")

@@ -133,7 +133,13 @@ class Ergo(Defense):
         self.goodjest.initialize(
             self.now, initialization_duration=self.config.initialization_duration
         )
-        self._window = SlidingWindowCounter(self._window_width())
+        # max_width bounds how far a later estimate revision can widen
+        # the window (1/J̃ is capped at max_window_width), which lets the
+        # counter prune batches no representable window can reach while
+        # still re-admitting aged batches on widening.
+        self._window = SlidingWindowCounter(
+            self._window_width(), max_width=self.config.max_window_width
+        )
         self._start_iteration(self.now)
 
     def _window_width(self) -> float:
@@ -182,24 +188,117 @@ class Ergo(Defense):
         self.sim.metrics.counters.add("good_abandoned")
         return None
 
+    def _batch_pricing(self):
+        """How the vectorized join batch prices a run.
+
+        ``"window"`` -- Ergo's own quote (``1 +`` sliding-window count),
+        vectorized through ``SlidingWindowCounter.quote_record_run``.  A
+        float -- a flat per-join cost (CCom overrides this to ``1.0``).
+        ``None`` -- the subclass overrode :meth:`quote_entrance_cost`
+        with something this class cannot vectorize; the batch hook falls
+        back to the per-row loop, which prices through the virtual
+        quote.
+        """
+        if type(self).quote_entrance_cost is Ergo.quote_entrance_cost:
+            return "window"
+        return None
+
     def process_good_join_batch(self, times, idents=None) -> list:
-        """Batched good joins: the per-ID loop minus provably dead work.
+        """Batched good joins: whole-run pricing between protocol trips.
 
         Equivalent to looping :meth:`process_good_join` row by row --
-        same window queries/records, charges, GoodJEst updates, and
-        purge checks in the same order -- except the per-row
-        ``_observe_fraction`` is dropped: across a pure join run the bad
-        fraction is non-increasing (bad count fixed, system growing;
-        purges only lower it further), so the pre-batch peak already
-        dominates every intermediate value.  Pricing goes through the
-        virtual :meth:`quote_entrance_cost` (the clock is advanced to
-        each row's time first), so subclasses overriding the quote --
-        CCom's flat 1, experiment variants -- keep their pricing on the
-        fast path.  Classifier runs (ERGO-SF) fall back to the generic
-        loop, which handles retries.
+        same charges, window records, GoodJEst updates, and purge
+        decisions in the same order -- but executed in *chunks*: a chunk
+        never extends past the row where the purge rule or GoodJEst's
+        interval rule can trip (both advance by exactly one per join, so
+        the trip row is computed in closed form), and inside a chunk the
+        entire run is priced in one ``quote_record_run`` pass, named in
+        one ``issue_batch``, charged in one float-exact ``charge_seq``,
+        and admitted in one arena ``add_batch``.  The per-row checks
+        being skipped are provably no-ops: ``on_event`` /
+        ``_maybe_purge`` are pure reads until their trip row, and the
+        per-row ``_observe_fraction`` is dropped because across a pure
+        join run the bad fraction is non-increasing, so the pre-batch
+        peak dominates every intermediate value.  Classifier runs
+        (ERGO-SF) fall back to the generic loop, which handles retries;
+        subclasses with custom quotes fall back to the per-row loop.
         """
         if self.config.classifier is not None:
             return super().process_good_join_batch(times, idents)
+        pricing = self._batch_pricing()
+        n = len(times)
+        if pricing is None or n < 4:
+            # Tiny runs (steady-state interleave cuts batches to a row
+            # or two): the closed-form trip bounds cost more than the
+            # per-row checks they elide.
+            return self._join_batch_per_row(times, idents)
+        clock = self.sim.clock
+        window = self._window
+        goodjest = self.goodjest
+        accountant = self.accountant
+        add_batch = self.population.good.add_batch
+        issue = self.ids.issue
+        admitted: list = []
+        i = 0
+        # Rows-to-trip distances survive across chunks (each join consumes
+        # exactly one from each), so the closed-form bounds are computed
+        # only at entry and after an actual trip -- and the per-row
+        # ``on_event`` / ``_maybe_purge`` calls, pure reads before their
+        # trip row, are elided entirely rather than replayed per chunk.
+        until_purge = self._events_until_purge()
+        until_jest = goodjest.joins_until_update()
+        while i < n:
+            k = n - i
+            if until_purge < k:
+                k = until_purge
+            if until_jest < k:
+                k = until_jest
+            chunk = times[i : i + k]
+            if pricing == "window":
+                counts = window.quote_record_run(chunk)
+                costs = [1.0 + c for c in counts]
+            else:
+                window.record_run(chunk)
+                costs = [pricing] * k
+            if idents is None:
+                uniques = self.ids.issue_batch("g", k)
+            else:
+                uniques = [
+                    issue(p if p is not None else "g")
+                    for p in idents[i : i + k]
+                ]
+            accountant.charge_good_batch(uniques, costs, "entrance")
+            add_batch(uniques, True, chunk)
+            admitted += uniques
+            self._joins_in_iter += k
+            self._event_counter += k
+            i += k
+            until_purge -= k
+            until_jest -= k
+            if until_jest == 0 or until_purge == 0:
+                last_t = chunk[-1]
+                clock._now = last_t
+                if until_jest == 0:
+                    if goodjest.on_event(last_t):
+                        window.set_width(self._window_width())
+                        if self.tracer.enabled:
+                            self.tracer.emit(
+                                last_t,
+                                "estimate_update",
+                                estimate=goodjest.estimate,
+                            )
+                    until_jest = goodjest.joins_until_update()
+                if until_purge == 0:
+                    self._maybe_purge(last_t)
+                    # The purge (or gated iteration reset) moved both
+                    # the iteration counters and the population.
+                    until_purge = self._events_until_purge()
+                    until_jest = goodjest.joins_until_update()
+        clock._now = times[n - 1]
+        return admitted
+
+    def _join_batch_per_row(self, times, idents=None) -> list:
+        """The row-by-row batch body (virtual-quote subclasses)."""
         clock = self.sim.clock
         window = self._window
         issue = self.ids.issue
@@ -228,6 +327,65 @@ class Ergo(Defense):
             self._maybe_purge(t)
             append(unique)
         return admitted
+
+    def process_good_departure_batch(self, times, idents=None) -> None:
+        """Batched good departures: whole-run removals between trips.
+
+        Fully named runs (the engine's session-departure drains) are
+        removed through the arena's ``remove_batch`` in chunks bounded
+        by the purge counter and GoodJEst's conservative departure
+        bound, with the per-row machinery collapsed to one pass per
+        chunk: the skipped ``on_event`` / ``_maybe_purge`` calls are
+        pure reads before their trip row, and the bad fraction is
+        non-decreasing across a pure good-departure run, so observing it
+        once after the chunk captures the peak the per-row loop would
+        have seen.  Runs containing anonymous victims fall back to the
+        per-row hook to preserve the uniform random draw order.
+        """
+        n = len(times)
+        if idents is None or n < 4 or None in idents:
+            Defense.process_good_departure_batch(self, times, idents)
+            return
+        clock = self.sim.clock
+        goodjest = self.goodjest
+        remove_batch = self.population.good.remove_batch
+        i = 0
+        # Bounds consume one unit per *removal* (absent victims change
+        # nothing); the departure bound is conservative, so hitting zero
+        # re-checks exactly rather than guaranteeing a trip.
+        until_purge = self._events_until_purge()
+        until_jest = goodjest.departures_until_update_bound()
+        while i < n:
+            k = n - i
+            if until_purge < k:
+                k = until_purge
+            if until_jest < k:
+                k = until_jest
+            removed = remove_batch(idents[i : i + k])
+            i += k
+            if removed:
+                self._event_counter += removed
+                self._observe_fraction()
+                until_purge -= removed
+                until_jest -= removed
+                if until_jest == 0 or until_purge == 0:
+                    last_t = times[i - 1]
+                    clock._now = last_t
+                    if until_jest == 0:
+                        if goodjest.on_event(last_t):
+                            self._window.set_width(self._window_width())
+                            if self.tracer.enabled:
+                                self.tracer.emit(
+                                    last_t,
+                                    "estimate_update",
+                                    estimate=goodjest.estimate,
+                                )
+                        until_jest = goodjest.departures_until_update_bound()
+                    if until_purge == 0:
+                        self._maybe_purge(last_t)
+                        until_purge = self._events_until_purge()
+                        until_jest = goodjest.departures_until_update_bound()
+        clock._now = times[n - 1]
 
     def process_good_departure(self, ident: Optional[str] = None) -> Optional[str]:
         victim = self._select_departing_good(ident)

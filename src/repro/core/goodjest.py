@@ -20,6 +20,7 @@ defense call :meth:`apply_deferred` after purging.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -122,6 +123,72 @@ class GoodJEst:
             return True
         self._update(now)
         return True
+
+    def joins_until_update(self) -> int:
+        """Exact count of further *pure good joins* before a trip.
+
+        During a run of good joins, the combined symmetric difference
+        and the system size each grow by exactly 1 per row, so the k-th
+        next join trips the interval rule iff
+        ``diff + k >= threshold * (size + k)`` -- evaluated with the
+        same float arithmetic as :meth:`on_event`, so Ergo's vectorized
+        join batches can stop at precisely the row where the per-row
+        loop would have updated.  Returns at least 1; a huge sentinel
+        when no number of joins can trip (deferred update pending, or a
+        threshold ≥ 1 never crossed).
+        """
+        never = 1 << 62
+        if self._estimate is None:
+            raise RuntimeError("GoodJEst.initialize() was never called")
+        if self._pending:
+            return never
+        diff = self._population.combined_sym_diff(self.TRACKER)
+        size = self._population.size
+        thr = self._threshold
+        if diff + 1 >= thr * (size + 1):
+            return 1
+        if thr >= 1.0:
+            # diff + k - thr*(size + k) is non-increasing in k.
+            return never
+        k = int(math.ceil((thr * size - diff) / (1.0 - thr)))
+        if k < 1:
+            k = 1
+        # The estimate above can be off by an ulp; settle on the exact
+        # first k satisfying the on_event comparison.
+        while diff + k < thr * (size + k):
+            k += 1
+        while k > 1 and diff + (k - 1) >= thr * (size + k - 1):
+            k -= 1
+        return k
+
+    def departures_until_update_bound(self) -> int:
+        """A safe lower bound on departures before a trip can occur.
+
+        A departure moves the combined symmetric difference by at most
+        +1 while shrinking the size by 1 (a post-snapshot member leaving
+        *reduces* the difference), so the worst case approaches the
+        interval rule fastest via ``diff + k >= threshold * (size - k)``.
+        Any run shorter than the returned bound cannot trip before its
+        final row; the caller re-checks exactly with :meth:`on_event`.
+        """
+        never = 1 << 62
+        if self._estimate is None:
+            raise RuntimeError("GoodJEst.initialize() was never called")
+        if self._pending:
+            return never
+        diff = self._population.combined_sym_diff(self.TRACKER)
+        size = self._population.size
+        thr = self._threshold
+        if diff + 1 >= thr * (size - 1):
+            return 1
+        k = int(math.ceil((thr * size - diff) / (1.0 + thr)))
+        if k < 1:
+            k = 1
+        while diff + k < thr * (size - k):
+            k += 1
+        while k > 1 and diff + (k - 1) >= thr * (size - (k - 1)):
+            k -= 1
+        return k
 
     def apply_deferred(self, now: float) -> bool:
         """Apply a pending update (Heuristic 1: call right after a purge)."""

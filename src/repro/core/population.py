@@ -35,7 +35,10 @@ from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
-from repro.identity.membership import MembershipSet, SymmetricDifferenceTracker
+from repro.identity.membership import (
+    SymmetricDifferenceTracker,
+    make_membership_set,
+)
 
 
 @dataclass
@@ -148,7 +151,7 @@ class SystemPopulation:
     """
 
     def __init__(self) -> None:
-        self.good = MembershipSet()
+        self.good = make_membership_set()
         self.bad = AggregateBadPopulation()
         self._combined: List[str] = []
 
@@ -171,7 +174,7 @@ class SystemPopulation:
         self.good.add(ident, is_good=True, now=now)
 
     def good_depart(self, ident: str) -> bool:
-        return self.good.remove(ident) is not None
+        return self.good.discard(ident)
 
     def random_good(self, rng: np.random.Generator) -> Optional[str]:
         return self.good.random_good(rng)

@@ -207,27 +207,23 @@ class Defense(abc.ABC):
 
         Observably equivalent to the default loop for any defense whose
         ``process_good_join`` charges a flat ``cost`` and does no other
-        bookkeeping (SybilControl, REMP): each row uses its own
-        timestamp, and per-ID ledger entries are preserved.
+        bookkeeping (SybilControl, REMP): each row keeps its own
+        timestamp and per-ID ledger entry, but names, charges, and
+        membership go through the whole-run batch APIs
+        (``IdentityFactory.issue_batch``, ``charge_good_batch``,
+        ``MembershipSet.add_batch``) instead of per-row calls.
         """
-        issue = self.ids.issue
-        charge = self.accountant.charge_good
-        good_join = self.population.good_join
-        admitted = []
-        append = admitted.append
+        k = len(times)
         if idents is None:
-            for t in times:
-                unique = issue("g")
-                charge(unique, cost, "entrance")
-                good_join(unique, t)
-                append(unique)
+            uniques = self.ids.issue_batch("g", k)
         else:
-            for t, ident in zip(times, idents):
-                unique = issue(ident if ident is not None else "g")
-                charge(unique, cost, "entrance")
-                good_join(unique, t)
-                append(unique)
-        return admitted
+            issue = self.ids.issue
+            uniques = [
+                issue(ident if ident is not None else "g") for ident in idents
+            ]
+        self.accountant.charge_good_batch(uniques, [cost] * k, "entrance")
+        self.population.good.add_batch(uniques, True, times)
+        return uniques
 
     def _removal_departure_batch(self, times, idents=None) -> None:
         """Batched departures by direct membership removal.
@@ -236,18 +232,35 @@ class Defense(abc.ABC):
         ``process_good_departure`` is select-victim + remove with no
         other bookkeeping: a named victim that already left is a no-op
         either way, and unnamed victims fall back to the per-ID hook so
-        the uniform random draw order matches the per-event path.
+        the uniform random draw order matches the per-event path.  Fully
+        named runs (the engine's session-departure drains) go through
+        ``MembershipSet.remove_batch`` in one call.
         """
         if idents is None:
             Defense.process_good_departure_batch(self, times, idents)
             return
-        remove = self.population.good.remove
-        depart = self.process_good_departure
-        for ident in idents:
+        if len(idents) == 1:
+            # Single-departure drains dominate once joins interleave;
+            # skip straight to the membership removal.
+            ident = idents[0]
             if ident is None:
-                depart(None)
+                self.sim.clock._now = times[0]
+                self.process_good_departure(None)
             else:
-                remove(ident)
+                self.population.good.discard(ident)
+            return
+        if None in idents:
+            clock = self.sim.clock
+            remove = self.population.good.discard
+            depart = self.process_good_departure
+            for t, ident in zip(times, idents):
+                if ident is None:
+                    clock._now = t
+                    depart(None)
+                else:
+                    remove(ident)
+            return
+        self.population.good.remove_batch(idents)
 
     def on_tick(self, now: float) -> None:
         """Periodic housekeeping (default: none)."""

@@ -67,7 +67,11 @@ class EstimationHarness(Defense):
     # ------------------------------------------------------------------
     def after_bootstrap(self, count: int) -> None:
         self.goodjest.initialize(self.now)
-        self._window = SlidingWindowCounter(self._window_width())
+        # Widening (an estimate revised downward) re-admits aged batches
+        # up to max_window_width, which also bounds pruning.
+        self._window = SlidingWindowCounter(
+            self._window_width(), max_width=self.max_window_width
+        )
 
     def _window_width(self) -> float:
         estimate = self.goodjest.estimate

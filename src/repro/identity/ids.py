@@ -29,6 +29,21 @@ class IdentityFactory:
         self._counter += 1
         return f"{proposed_name}#{self._counter}"
 
+    def issue_batch(self, proposed_name: str = "id", count: int = 1) -> list:
+        """Issue ``count`` identifiers sharing one proposed name.
+
+        Exactly equivalent to ``count`` :meth:`issue` calls (same names,
+        same counter state after), amortizing the per-call overhead for
+        the defenses' whole-run join hooks.
+        """
+        if count == 1:
+            self._counter += 1
+            return [f"{proposed_name}#{self._counter}"]
+        start = self._counter
+        self._counter = start + count
+        prefix = proposed_name + "#"
+        return list(map(prefix.__add__, map(str, range(start + 1, start + count + 1))))
+
     def issue_good(self) -> str:
         """Convenience wrapper for good-ID names (used by the engine)."""
         return self.issue("g")

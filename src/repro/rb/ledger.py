@@ -33,6 +33,18 @@ class CostAccountant:
         self._metrics.good.charge(amount, category)
         self._per_id[ident] = self._per_id.get(ident, 0.0) + amount
 
+    def charge_good_batch(self, idents, amounts, category: str) -> None:
+        """Charge a run of *fresh* good IDs their per-row amounts.
+
+        Float-exact equivalent of per-row :meth:`charge_good` calls
+        (party-meter accumulation happens in sequence order); the per-ID
+        ledger is bulk-updated, which is only correct because joining
+        IDs are always brand new (unique names, Section 2.1.1) and so
+        cannot have a prior balance.
+        """
+        self._metrics.good.charge_seq(amounts, category)
+        self._per_id.update(zip(idents, amounts))
+
     def charge_good_bulk(self, count: int, amount_each: float, category: str) -> None:
         """Charge ``count`` good IDs ``amount_each`` (party meter only).
 

@@ -172,6 +172,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(json_path, "w") as handle:
             handle.write(text + "\n")
     print(_report_table(report))
+    warnings = sorted(
+        {
+            f"{row['scenario']}: {warning}"
+            for row in report["rows"]
+            for warning in row.get("compile_warnings", ())
+        }
+    )
+    for warning in warnings:
+        print(f"warning: {warning}")
     print(f"\nmetrics JSON: {out_path}")
     return 0
 

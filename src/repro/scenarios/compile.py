@@ -66,6 +66,9 @@ class CompiledScenario:
     blocks: List[ChurnBlock]
     #: events to push into the queue before run() (Sybil exoduses)
     scheduled: List[Event] = dataclass_field(default_factory=list)
+    #: compile-time anomalies (e.g. fraction phases clamped at small
+    #: ``--n0-scale``), surfaced through :meth:`summary` and the CLI
+    warnings: List[str] = dataclass_field(default_factory=list)
 
     def summary(self) -> dict:
         """Workload-shape statistics (trace side only, defense-free)."""
@@ -92,6 +95,7 @@ class CompiledScenario:
             "good_departures": departures,
             "peak_join_rate": max(bins.values()) if bins else 0,
             "scheduled_bad_departure_batches": len(self.scheduled),
+            "warnings": list(self.warnings),
         }
 
 
@@ -113,10 +117,29 @@ class _Compiler:
         self.pop = float(n0)
         self.blocks: List[ChurnBlock] = []
         self.scheduled: List[Event] = []
+        self.warnings: List[str] = []
 
     # -- helpers -------------------------------------------------------
     def equilibrium_rate(self) -> float:
         return max(self.pop, 1.0) / self.sessions.mean()
+
+    def fraction_count(self, fraction: float, phase_name: str) -> int:
+        """Size a fraction-based phase against the population estimate.
+
+        ``int(round(fraction * pop))`` reaches 0 under small
+        ``--n0-scale``, silently turning exodus/partition phases into
+        no-ops; a positive fraction of a non-empty population is clamped
+        to at least one member, and the clamp is reported through the
+        compile warnings so scaled-down runs stay interpretable.
+        """
+        count = int(round(fraction * self.pop))
+        if count == 0 and fraction > 0.0 and self.pop >= 1.0:
+            self.warnings.append(
+                f"{phase_name}: fraction {fraction:g} of estimated "
+                f"population {self.pop:.1f} rounds to 0; clamped to 1"
+            )
+            count = 1
+        return count
 
     def emit(self, blocks) -> int:
         """Collect a block stream; returns the number of rows emitted."""
@@ -212,13 +235,13 @@ class _Compiler:
             count = (
                 phase.count
                 if phase.count is not None
-                else int(round(phase.fraction * self.pop))
+                else self.fraction_count(phase.fraction, "MassExodus")
             )
             self.departure_burst(count, start, phase.duration)
             self.pop = max(self.pop - count, 0.0)
             self.now = start + phase.duration
         elif isinstance(phase, PartitionRejoin):
-            count = int(round(phase.fraction * self.pop))
+            count = self.fraction_count(phase.fraction, "PartitionRejoin")
             self.departure_burst(count, start, phase.exodus_window)
             rejoin_at = start + phase.exodus_window + phase.away
             self.join_burst(count, rejoin_at, phase.rejoin_window)
@@ -229,13 +252,29 @@ class _Compiler:
             self.compile_replay(phase, start)
             self.now = start + phase.duration
         elif isinstance(phase, SybilExodus):
-            count = phase.count if phase.count is not None else (1 << 62)
-            per_batch = max(count // phase.batches, 1)
             step = phase.duration / phase.batches
-            for i in range(phase.batches):
-                self.scheduled.append(
-                    BadDepartureBatch(time=start + i * step, count=per_batch)
-                )
+            if phase.count is None:
+                # "Withdraw everything": sized at fire time, in equal
+                # shares of the then-standing population -- fractions
+                # 1/n, 1/(n-1), ..., 1 drain it all by the last batch.
+                # (A precomputed huge count would collapse the staged
+                # exodus into the first batch.)
+                for i in range(phase.batches):
+                    self.scheduled.append(
+                        BadDepartureBatch(
+                            time=start + i * step,
+                            count=0,
+                            drain_fraction=1.0 / (phase.batches - i),
+                        )
+                    )
+            else:
+                per_batch = max(phase.count // phase.batches, 1)
+                for i in range(phase.batches):
+                    self.scheduled.append(
+                        BadDepartureBatch(
+                            time=start + i * step, count=per_batch
+                        )
+                    )
             self.now = start + phase.duration
         else:  # pragma: no cover - spec validation rejects these earlier
             raise TypeError(f"unknown phase type: {type(phase).__name__}")
@@ -306,6 +345,7 @@ def compile_scenario(
         initial=initial,
         blocks=compiler.blocks,
         scheduled=sorted(compiler.scheduled, key=lambda e: e.time),
+        warnings=compiler.warnings,
     )
 
 

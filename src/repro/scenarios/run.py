@@ -160,6 +160,7 @@ def run_scenario_point(point: ScenarioPointSpec) -> Dict:
         "churn_events_fast": counters.get("churn_events_fast", 0),
         "churn_events_heap": counters.get("churn_events_heap", 0),
         "queue_max_size": counters.get("queue_max_size", 0),
+        "compile_warnings": shape["warnings"],
     }
 
 

@@ -55,7 +55,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 from repro.sim.blocks import ChurnBlock, flatten_churn
@@ -241,6 +244,7 @@ class Simulation:
         self._block_times: Optional[list] = None
         self._block_kinds: Optional[list] = None
         self._block_sessions: Optional[list] = None
+        self._block_deadlines: Optional[list] = None
         self._block_idents: Optional[list] = None
         self._block_index = 0
         self._initial_members = list(initial_members) if initial_members else []
@@ -323,9 +327,12 @@ class Simulation:
 
         Rows are converted to plain Python lists once per block: the
         per-row scans in the main loop are then float compares on list
-        items instead of numpy scalar extractions.  A stray per-event
-        item in a block stream is packed into a one-row block
-        (non-churn event types are rejected with ``from_events``'s
+        items instead of numpy scalar extractions.  Departure deadlines
+        (``time + session``, ``inf`` for session-less rows) are computed
+        vectorized here so the scan and the admission push loop touch
+        one precomputed float per row instead of re-deriving it.  A
+        stray per-event item in a block stream is packed into a one-row
+        block (non-churn event types are rejected with ``from_events``'s
         clear error).
         """
         for block in self._churn:
@@ -336,7 +343,15 @@ class Simulation:
             self._block_times = block.times.tolist()
             self._block_kinds = block.kinds.tolist()
             sessions = block.sessions
-            self._block_sessions = sessions.tolist() if sessions is not None else None
+            if sessions is not None:
+                self._block_sessions = sessions.tolist()
+                deadlines = block.times + sessions
+                self._block_deadlines = np.nan_to_num(
+                    deadlines, nan=_INF, posinf=_INF
+                ).tolist()
+            else:
+                self._block_sessions = None
+                self._block_deadlines = None
             self._block_idents = block.idents
             self._block_index = 0
             return True
@@ -398,6 +413,7 @@ class Simulation:
         bt = self._block_times
         bk = self._block_kinds
         bs = self._block_sessions
+        bd = self._block_deadlines
         bid = self._block_idents
         bi = self._block_index
         bn = len(bt) if bt is not None else 0
@@ -428,6 +444,7 @@ class Simulation:
                     bt = self._block_times
                     bk = self._block_kinds
                     bs = self._block_sessions
+                    bd = self._block_deadlines
                     bid = self._block_idents
                     bi = 0
                     bn = len(bt)
@@ -510,11 +527,8 @@ class Simulation:
                         # same-instant row was admitted first and stays.
                         min_dep = _INF
                         inst_time = t0
-                        inst_dep = _INF
-                        if joins and bs is not None:
-                            s = bs[bi]
-                            if s == s:
-                                inst_dep = t0 + s
+                        track_deps = joins and bd is not None
+                        inst_dep = bd[bi] if track_deps else _INF
                         j = bi + 1
                         if t0 < next_sample:
                             while j < bn:
@@ -541,12 +555,10 @@ class Simulation:
                                 if t >= next_sample:
                                     j += 1
                                     break
-                                if joins and bs is not None:
-                                    s = bs[j]
-                                    if s == s:
-                                        d = t + s
-                                        if d < inst_dep:
-                                            inst_dep = d
+                                if track_deps:
+                                    d = bd[j]
+                                    if d < inst_dep:
+                                        inst_dep = d
                                 j += 1
                         times_seg = bt[bi:j]
                         ids_seg = bid[bi:j] if bid is not None else None
@@ -557,19 +569,17 @@ class Simulation:
                             )
                             self._good_join_events += k
                             fast_joins += k
-                            if bs is not None:
+                            if bd is not None:
                                 off = bi
                                 for uid in admitted:
                                     if uid is not None:
-                                        s = bs[off]
-                                        if s == s:
-                                            depart_at = bt[off] + s
-                                            if depart_at <= horizon:
-                                                heappush(
-                                                    heap,
-                                                    (depart_at, 0, next_seq(), uid),
-                                                )
-                                                churn_pushes += 1
+                                        depart_at = bd[off]
+                                        if depart_at <= horizon:
+                                            heappush(
+                                                heap,
+                                                (depart_at, 0, next_seq(), uid),
+                                            )
+                                            churn_pushes += 1
                                     off += 1
                                 if len(heap) > max_size:
                                     max_size = len(heap)
@@ -682,6 +692,7 @@ class Simulation:
         self._block_times = bt
         self._block_kinds = bk
         self._block_sessions = bs
+        self._block_deadlines = bd
         self._block_idents = bid
         self._block_index = bi
         self._fast_churn_events += fast_events
@@ -763,15 +774,21 @@ class Simulation:
     ) -> None:
         """A scheduled Sybil mass withdrawal: one heap entry, one call.
 
-        Counts only the departures the schedule delivered (a batch
-        larger than the standing Sybil population withdraws what is
-        there, and purge evictions tripped along the way stay out --
-        they are tallied by the defense's own counters), so
-        ``bad_departure_events`` keeps meaning "withdrawals the
-        adversary's schedule performed".
+        ``drain_fraction`` batches size themselves against the Sybil
+        population standing *now* (the compiler cannot know it in
+        advance), so a staged exodus actually stages instead of the
+        first oversized batch draining everything.  Counts only the
+        departures the schedule delivered (a batch larger than the
+        standing Sybil population withdraws what is there, and purge
+        evictions tripped along the way stay out -- they are tallied by
+        the defense's own counters), so ``bad_departure_events`` keeps
+        meaning "withdrawals the adversary's schedule performed".
         """
+        count = event.count
+        if event.drain_fraction is not None:
+            count = math.ceil(self.defense.bad_count() * event.drain_fraction)
         self._bad_departure_events += self.defense.process_bad_departure_batch(
-            event.count
+            count
         )
 
     def _handle_tick(self, event: Tick, now: float) -> None:

@@ -112,9 +112,20 @@ class BadDepartureBatch(Event):
     are an aggregate population (the adversary has perfect collusion, so
     only the count matters); ``count`` in excess of the standing Sybil
     population withdraws everything that is present.
+
+    ``drain_fraction`` sizes the withdrawal at *fire time* instead:
+    that fraction of the Sybil population standing when the event
+    dispatches (rounded up) is withdrawn, and ``count`` is ignored.  A
+    staged full exodus over ``n`` batches is fractions ``1/n, 1/(n-1),
+    ..., 1`` -- equal shares of the original population, draining
+    everything by the last batch, without the compiler having to guess
+    the standing population in advance.
     """
 
     count: int = 1
+    #: withdraw this fraction of the standing Sybil population instead
+    #: of a precomputed count (``None`` = use ``count``)
+    drain_fraction: Optional[float] = None
 
     kind: ClassVar[EventKind] = EventKind.BAD_DEPARTURE
 

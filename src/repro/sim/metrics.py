@@ -10,9 +10,8 @@ seconds" query at the heart of Ergo's entrance cost (Figure 4, Step 1).
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -87,13 +86,32 @@ class TimeSeries:
 
     @property
     def times(self) -> np.ndarray:
-        """Zero-copy float64 view of the sample times."""
+        """Zero-copy float64 view of the sample times.
+
+        The view aliases the live buffer: a later :meth:`record` that
+        triggers an amortized-doubling resize leaves previously fetched
+        views pointing at the *old* buffer.  Re-fetch after writing, or
+        take a stable snapshot with :meth:`arrays`.
+        """
         return self._times[: self._n]
 
     @property
     def values(self) -> np.ndarray:
-        """Zero-copy float64 view of the sample values."""
+        """Zero-copy float64 view of the sample values.
+
+        Same aliasing caveat as :attr:`times`: re-fetch after any
+        :meth:`record`, or use :meth:`arrays` for a stable snapshot.
+        """
         return self._values[: self._n]
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of ``(times, values)``, stable across future records.
+
+        Use this at result-assembly boundaries (exports, reports) where
+        the series may still be appended to afterwards; the zero-copy
+        views go stale when a resize reallocates the buffers.
+        """
+        return self._times[: self._n].copy(), self._values[: self._n].copy()
 
     def max(self) -> float:
         if not self._n:
@@ -143,6 +161,24 @@ class SpendMeter:
         self._total += amount
         self._by_category[category] = self._by_category.get(category, 0.0) + amount
 
+    def charge_seq(self, amounts, category: str = "other") -> None:
+        """Charge a sequence of amounts, one at a time.
+
+        Float-exact equivalent of calling :meth:`charge` per amount (the
+        running totals accumulate in the same order), minus the per-call
+        overhead -- used by the defenses' whole-run join hooks, where
+        accumulation order must match the per-event path bit for bit.
+        """
+        total = self._total
+        cat_total = self._by_category.get(category, 0.0)
+        for amount in amounts:
+            if amount < 0:
+                raise ValueError(f"negative charge on {self.name!r}: {amount}")
+            total += amount
+            cat_total += amount
+        self._total = total
+        self._by_category[category] = cat_total
+
     @property
     def total(self) -> float:
         return self._total
@@ -168,16 +204,45 @@ class SlidingWindowCounter:
     window width changes whenever GoodJEst updates ``J̃``, and the counter
     is cleared at iteration boundaries, so both operations are supported.
 
-    Events are stored as ``(time, count)`` batches so adversarial join
-    bursts of millions of IDs cost O(1) rather than O(burst size).
+    Events are stored as sorted ``(time, prefix-count)`` parallel arrays
+    behind a *width-aware cursor*: for the monotone query times a
+    simulation produces, ``count`` advances the cursor to the window's
+    left edge in amortized O(1), and a width change just walks it back.
+    Counting is **non-destructive**: a batch that has aged out of the
+    current window is *kept*, so a later ``set_width`` to a wider window
+    (GoodJEst revising J̃ downward makes ``1/J̃`` grow) correctly
+    re-admits it.  The destructive-eviction layout this replaces
+    permanently undercounted after such a widening.  Whole join runs are
+    quoted and recorded in one pass by :meth:`quote_record_run` (the
+    engine's block fast path).
+
+    ``max_width`` bounds how far back a future window can ever reach:
+    batches older than ``now - max_width`` may be pruned, and
+    ``set_width`` beyond ``max_width`` is rejected.  ``None`` (the
+    default) keeps every batch until :meth:`clear`.
     """
 
-    def __init__(self, width: float) -> None:
+    #: run length below which the scalar quote loop beats the
+    #: vectorized pass (numpy calls have fixed per-call overhead)
+    _VECTOR_MIN = 12
+
+    def __init__(self, width: float, max_width: Optional[float] = None) -> None:
         if width <= 0:
             raise ValueError(f"window width must be positive: {width}")
+        if max_width is not None and max_width < width:
+            raise ValueError(
+                f"max_width {max_width} is narrower than the width {width}"
+            )
         self._width = float(width)
-        self._batches: Deque[List[float]] = deque()
-        self._sum = 0
+        self._max_width = float(max_width) if max_width is not None else None
+        #: batch times (sorted) and prefix sums: ``_cum[i]`` = events in
+        #: batches ``[0, i)``; plain lists -- scalar access dominates
+        self._t: List[float] = []
+        self._cum: List[int] = [0]
+        #: index of the first batch inside the last-queried window
+        self._cursor = 0
+        #: batches before this index were pruned (beyond ``max_width``)
+        self._head = 0
         #: events are never counted before this time (iteration start)
         self._floor = float("-inf")
 
@@ -185,16 +250,51 @@ class SlidingWindowCounter:
     def width(self) -> float:
         return self._width
 
+    @property
+    def max_width(self) -> Optional[float]:
+        return self._max_width
+
+    @property
+    def _batches(self) -> List[List[float]]:
+        """Live batches as ``[time, count]`` pairs (tests/debugging)."""
+        t = self._t[self._head :]
+        cum = self._cum[self._head :]
+        return [[time, cum[i + 1] - cum[i]] for i, time in enumerate(t)]
+
     def set_width(self, width: float) -> None:
         if width <= 0:
             raise ValueError(f"window width must be positive: {width}")
+        if self._max_width is not None and width > self._max_width:
+            raise ValueError(
+                f"width {width} exceeds max_width {self._max_width}; "
+                "events that far back may already be pruned"
+            )
         self._width = float(width)
 
     def clear(self, now: float) -> None:
         """Forget all events and refuse to count anything before ``now``."""
-        self._batches.clear()
-        self._sum = 0
+        self._t = []
+        self._cum = [0]
+        self._cursor = 0
+        self._head = 0
         self._floor = float(now)
+
+    def _prune(self, now: float) -> None:
+        """Advance past batches no representable window can reach."""
+        horizon = now - self._max_width
+        t = self._t
+        n = len(t)
+        head = self._head
+        while head < n and t[head] <= horizon:
+            head += 1
+        if head > 1024 and head * 2 > n:
+            # Compact the pruned prefix away (amortized O(1) per event).
+            del t[:head]
+            base = self._cum[head]
+            self._cum = [c - base for c in self._cum[head:]]
+            self._cursor = max(self._cursor - head, 0)
+            head = 0
+        self._head = head
 
     def record(self, now: float, count: int = 1) -> None:
         if now < self._floor:
@@ -203,25 +303,129 @@ class SlidingWindowCounter:
             raise ValueError(f"negative event count: {count}")
         if count == 0:
             return
-        if self._batches and self._batches[-1][0] == now:
-            self._batches[-1][1] += count
-        else:
-            self._batches.append([float(now), count])
-        self._sum += count
+        t = self._t
+        if t and t[-1] == now:
+            self._cum[-1] += count
+            return
+        t.append(now)
+        self._cum.append(self._cum[-1] + count)
+        if self._max_width is not None:
+            self._prune(now)
 
     def count(self, now: float) -> int:
         """Number of recorded events in ``(now - width, now]``.
 
         Events at exactly ``now - width`` have aged out; events at
         exactly the floor time (recorded in the same instant as a
-        ``clear``) still count.
+        ``clear``) still count.  Aged-out batches are *not* discarded:
+        a later, wider window still sees them (up to ``max_width``).
         """
         cutoff = now - self._width
-        while self._batches and (
-            self._batches[0][0] <= cutoff or self._batches[0][0] < self._floor
-        ):
-            self._sum -= self._batches.popleft()[1]
-        return self._sum
+        t = self._t
+        n = len(t)
+        c = self._cursor
+        if c > n:
+            c = n
+        while c < n and t[c] <= cutoff:
+            c += 1
+        head = self._head
+        while c > head and t[c - 1] > cutoff:
+            c -= 1
+        self._cursor = c
+        return self._cum[n] - self._cum[c]
+
+    # -- whole-run batch operations (the engine's block fast path) ------
+    def record_run(self, times) -> None:
+        """Record a non-decreasing run of single events in one pass."""
+        k = len(times)
+        if k == 0:
+            return
+        t0 = times[0]
+        if t0 < self._floor:
+            raise ValueError("cannot record an event before the window floor")
+        cum = self._cum
+        base = cum[-1]
+        if isinstance(times, np.ndarray):
+            times = times.tolist()
+        self._t.extend(times)
+        cum.extend(range(base + 1, base + k + 1))
+        if self._max_width is not None:
+            self._prune(times[-1])
+
+    def quote_record_run(self, times) -> List[int]:
+        """Per-row window counts for a run of joins, then record them.
+
+        Entry ``i`` equals what ``count(times[i])`` would have returned
+        just before ``record(times[i], 1)`` -- i.e. the exact per-row
+        quote-then-record sequence of Ergo's entrance pricing (Figure 4
+        Step 1), computed in one pass.  Short runs use the cursor
+        scalar path; long runs one vectorized pass over the window's
+        tail slice.
+        """
+        k = len(times)
+        if k == 0:
+            return []
+        if isinstance(times, np.ndarray):
+            times = times.tolist()
+        if times[0] < self._floor:
+            raise ValueError("cannot record an event before the window floor")
+        t_list = self._t
+        cum = self._cum
+        if k < self._VECTOR_MIN or (t_list and t_list[-1] > times[0]):
+            # Scalar path: each row counts through the cursor (seeing
+            # the rows of this run appended before it), then appends.
+            counts = []
+            append_count = counts.append
+            count = self.count
+            append_t = t_list.append
+            append_cum = cum.append
+            for now in times:
+                append_count(count(now))
+                append_t(now)
+                append_cum(cum[-1] + 1)
+            if self._max_width is not None:
+                self._prune(times[-1])
+            return counts
+        return self._quote_record_vector(times, k)
+
+    def _quote_record_vector(self, times: List[float], k: int) -> List[int]:
+        """One vectorized pass over the window's in-reach tail slice."""
+        t = np.asarray(times, dtype=np.float64)
+        cutoffs = t - self._width
+        t_list = self._t
+        cum = self._cum
+        n = len(t_list)
+        # Move the cursor to the first batch inside row 0's window; only
+        # the tail slice from there on can fall inside any row's window
+        # (cutoffs are non-decreasing), so the numpy conversion below is
+        # proportional to the window content, not the history.
+        c = self._cursor
+        if c > n:
+            c = n
+        cut0 = float(cutoffs[0])
+        while c < n and t_list[c] <= cut0:
+            c += 1
+        head = self._head
+        while c > head and t_list[c - 1] > cut0:
+            c -= 1
+        self._cursor = c
+        prior = np.asarray(t_list[c:n], dtype=np.float64)
+        prior_cum = np.asarray(cum[c : n + 1], dtype=np.int64)
+        # All prior batches are at or before t[0] (the caller routed
+        # out-of-order histories to the scalar path), so "events at or
+        # before t[i]" is the whole slice for every row.
+        counts = prior_cum[n - c] - prior_cum[
+            np.searchsorted(prior, cutoffs, side="right")
+        ]
+        # Rows of this run that precede row i and are still inside its
+        # window: all j < i with t[j] > t[i] - width.
+        counts += np.arange(k) - np.searchsorted(t, cutoffs, side="right")
+        base = cum[-1]
+        t_list.extend(times)
+        cum.extend(range(base + 1, base + k + 1))
+        if self._max_width is not None:
+            self._prune(times[-1])
+        return counts.tolist()
 
 
 @dataclass

@@ -34,25 +34,18 @@ class NullDefense(Defense):
     def process_good_join_batch(self, times, idents=None) -> list:
         """Batched joins: issue-and-admit with no charges at all.
 
-        Binds ``MembershipSet.add`` directly (``SystemPopulation.
-        good_join`` is a plain forwarder), since this hook is the floor
-        every engine-loop benchmark number sits on.
+        One ``issue_batch`` + one arena ``add_batch`` per run -- this
+        hook is the floor every engine-loop benchmark number sits on.
         """
-        issue = self.ids.issue
-        add = self.population.good.add
-        admitted = []
-        append = admitted.append
         if idents is None:
-            for t in times:
-                unique = issue("g")
-                add(unique, True, t)
-                append(unique)
+            uniques = self.ids.issue_batch("g", len(times))
         else:
-            for t, ident in zip(times, idents):
-                unique = issue(ident if ident is not None else "g")
-                add(unique, True, t)
-                append(unique)
-        return admitted
+            issue = self.ids.issue
+            uniques = [
+                issue(ident if ident is not None else "g") for ident in idents
+            ]
+        self.population.good.add_batch(uniques, True, times)
+        return uniques
 
     #: Departures are select + remove with no bookkeeping.
     process_good_departure_batch = Defense._removal_departure_batch

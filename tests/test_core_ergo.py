@@ -222,3 +222,24 @@ class TestStats:
             "intervals",
         }
         assert stats["iterations"] >= 1
+
+
+class TestWindowWidening:
+    """Ergo's window is bounded by max_window_width and may widen."""
+
+    def test_window_constructed_with_max_width(self):
+        from repro.churn.generators import smooth_trace
+        from repro.sim.blocks import blocks_from_events
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        events = smooth_trace(n0=30, epoch_rates=[2.0], rng=rng)
+        blocks = list(blocks_from_events(events, block_size=16))
+        defense = Ergo()
+        sim = Simulation(
+            SimulationConfig(horizon=30.0, seed=3), defense, blocks
+        )
+        sim.run()
+        assert defense._window.max_width == defense.config.max_window_width
+        # The operating width never exceeds the cap 1/J̃ is clamped to.
+        assert defense._window.width <= defense.config.max_window_width

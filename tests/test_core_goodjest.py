@@ -154,3 +154,51 @@ def test_zero_length_interval_guarded():
     estimator.on_event(0.0)
     assert estimator.estimate > 0
     assert estimator.estimate < float("inf")
+
+
+class TestTripDistances:
+    """Closed-form trip bounds drive Ergo's chunked batch hooks."""
+
+    def test_joins_until_update_is_exact(self):
+        population = make_population(n0=24)
+        estimator = GoodJEst(population)
+        estimator.initialize(now=0.0)
+        k = estimator.joins_until_update()
+        # The k-th join trips; the (k-1)-th must not.
+        for i in range(k - 1):
+            population.good_join(f"j{i}", now=1.0)
+            assert estimator.on_event(1.0) is False
+        population.good_join(f"j{k}", now=1.0)
+        assert estimator.on_event(1.0) is True
+
+    def test_joins_until_update_recomputes_after_trip(self):
+        population = make_population(n0=12)
+        estimator = GoodJEst(population)
+        estimator.initialize(now=0.0)
+        for round_no in range(3):
+            k = estimator.joins_until_update()
+            for i in range(k - 1):
+                population.good_join(f"r{round_no}-{i}", now=float(round_no + 1))
+                assert not estimator.on_event(float(round_no + 1))
+            population.good_join(f"r{round_no}-last", now=float(round_no + 1))
+            assert estimator.on_event(float(round_no + 1))
+
+    def test_pending_update_means_no_trip(self):
+        population = make_population(n0=12)
+        estimator = GoodJEst(population, defer_updates=True)
+        estimator.initialize(now=0.0)
+        population.bad_join(10, now=0.5)
+        estimator.on_event(0.5)  # becomes pending
+        assert estimator.has_pending_update
+        assert estimator.joins_until_update() > 1 << 60
+
+    def test_departures_bound_is_safe(self):
+        population = make_population(n0=40)
+        estimator = GoodJEst(population)
+        estimator.initialize(now=0.0)
+        bound = estimator.departures_until_update_bound()
+        victims = population.good.good_ids()
+        # Strictly fewer departures than the bound can never trip.
+        for ident in victims[: bound - 1]:
+            population.good_depart(ident)
+            assert estimator.on_event(1.0) is False

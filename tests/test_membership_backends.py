@@ -1,0 +1,207 @@
+"""Arena vs dict membership backends: byte-for-byte equivalence.
+
+The arena rewrite only counts if it is *invisible*: every simulation
+must produce identical metrics under either storage backend, under
+either engine path (block fast path or per-event heap path).  These
+tests A/B the backends through
+
+* randomized op scripts at the membership-API level (per-row vs
+  batched, both backends, including tracker views and seeded
+  ``random_good`` draws),
+* the gnutella-churn network runs of ``test_engine_fastpath`` for every
+  defense, crossed with the fast/heap toggle, and
+* the full scenario catalog at a fixed seed, compared as serialized
+  metrics JSON (the acceptance bar: byte-identical reports).
+"""
+
+import numpy as np
+import pytest
+
+from repro.identity import membership
+from repro.identity.membership import (
+    ArenaMembershipSet,
+    DictMembershipSet,
+    SymmetricDifferenceTracker,
+)
+
+BACKENDS = {"arena": ArenaMembershipSet, "dict": DictMembershipSet}
+
+
+@pytest.fixture
+def use_backend(request):
+    """Flip the module-default backend for the duration of a test."""
+
+    def _set(name: str):
+        request.addfinalizer(
+            lambda prev=membership.MEMBERSHIP_BACKEND_DEFAULT: setattr(
+                membership, "MEMBERSHIP_BACKEND_DEFAULT", prev
+            )
+        )
+        membership.MEMBERSHIP_BACKEND_DEFAULT = name
+
+    return _set
+
+
+def observe(m, rng):
+    """The full observable projection of a membership set."""
+    return {
+        "size": m.size,
+        "good_count": m.good_count,
+        "bad_count": m.bad_count,
+        "last_serial": m.last_serial,
+        "good_ids": m.good_ids(),
+        "all_ids": m.all_ids(),
+        "bad_ids": sorted(m.bad_ids()),
+        "bad_fraction": m.bad_fraction(),
+        "sym_diff": m.sym_diff("t"),
+        "draws": [m.random_good(rng) for _ in range(5)],
+        "members": sorted(
+            (mm.ident, mm.is_good, mm.joined_at, mm.serial)
+            for mm in m.members()
+        ),
+    }
+
+
+def apply_script(cls, script, batched: bool):
+    """Run an op script against a fresh set; return observables."""
+    m = cls()
+    m.attach_tracker("t", SymmetricDifferenceTracker())
+    for op, payload in script:
+        if op == "add":
+            idents, times = payload
+            if batched:
+                m.add_batch(idents, True, times)
+            else:
+                for ident, t in zip(idents, times):
+                    m.add(ident, True, t)
+        elif op == "add_bad":
+            idents, times = payload
+            if batched:
+                m.add_batch(idents, False, times)
+            else:
+                for ident, t in zip(idents, times):
+                    m.add(ident, False, t)
+        elif op == "remove":
+            if batched:
+                m.remove_batch(payload)
+            else:
+                for ident in payload:
+                    m.remove(ident)
+        elif op == "reset":
+            m.reset_tracker("t")
+    rng = np.random.default_rng(42)
+    return observe(m, rng)
+
+
+def random_script(seed: int):
+    """A collision-heavy random op script (adds, removes, resets)."""
+    r = np.random.default_rng(seed)
+    script = []
+    alive = []
+    counter = 0
+    t = 0.0
+    for _ in range(int(r.integers(3, 12))):
+        op = int(r.integers(0, 4))
+        if op in (0, 1) or not alive:
+            k = int(r.integers(1, 9))
+            idents = [f"x{counter + i}" for i in range(k)]
+            counter += k
+            times = [t + 0.1 * i for i in range(k)]
+            t += 0.1 * k
+            kind = "add" if op == 0 or not alive else "add_bad"
+            script.append((kind, (idents, times)))
+            alive.extend(idents)
+        elif op == 2:
+            k = min(int(r.integers(1, 7)), len(alive))
+            victims = [
+                alive.pop(int(r.integers(0, len(alive)))) for _ in range(k)
+            ]
+            # Include an already-absent ident: must be a no-op.
+            victims.append("ghost")
+            script.append(("remove", victims))
+        else:
+            script.append(("reset", None))
+    return script
+
+
+class TestScriptEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_backends_and_batching_agree(self, seed):
+        script = random_script(seed)
+        results = [
+            apply_script(cls, script, batched)
+            for cls in (ArenaMembershipSet, DictMembershipSet)
+            for batched in (False, True)
+        ]
+        for other in results[1:]:
+            assert other == results[0]
+
+    def test_arena_recycles_slots(self):
+        m = ArenaMembershipSet()
+        m.add_batch([f"a{i}" for i in range(10)], True, [0.0] * 10)
+        m.remove_batch([f"a{i}" for i in range(10)])
+        m.add_batch([f"b{i}" for i in range(10)], True, [1.0] * 10)
+        # Recycled slots: the backing arrays did not grow past 10.
+        assert len(m._idents) == 10
+        assert m.size == 10
+        assert m.good_ids() == [f"b{i}" for i in range(10)]
+
+    def test_add_batch_rejects_duplicates(self):
+        for cls in BACKENDS.values():
+            m = cls()
+            m.add("dup", True, 0.0)
+            with pytest.raises(ValueError, match="duplicate"):
+                m.add_batch(["fresh", "dup"], True, [1.0, 1.0])
+
+    def test_remove_batch_returns_removed_count(self):
+        for cls in BACKENDS.values():
+            m = cls()
+            m.add_batch(["a", "b", "c"], True, [0.0, 0.0, 0.0])
+            assert m.remove_batch(["a", "ghost", "c"]) == 2
+            assert m.good_ids() == ["b"]
+
+    def test_discard_matches_remove(self):
+        for cls in BACKENDS.values():
+            m = cls()
+            m.add("a", True, 0.0)
+            assert m.discard("a") is True
+            assert m.discard("a") is False
+            assert "a" not in m
+
+
+class TestSimulationEquivalence:
+    """Dict and arena backends drive byte-identical simulations."""
+
+    @pytest.mark.parametrize("defense", ["ergo", "ccom", "null"])
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_network_runs_match(self, defense, fast, use_backend):
+        from tests.test_engine_fastpath import observable, run_network_sim
+
+        use_backend("arena")
+        arena = run_network_sim(defense, fast=fast)
+        use_backend("dict")
+        dict_run = run_network_sim(defense, fast=fast)
+        assert observable(arena) == observable(dict_run)
+
+    @pytest.mark.parametrize("defense", ["sybilcontrol", "remp"])
+    def test_flat_cost_network_runs_match(self, defense, use_backend):
+        from tests.test_engine_fastpath import observable, run_network_sim
+
+        use_backend("arena")
+        arena = run_network_sim(defense, fast=True)
+        use_backend("dict")
+        dict_run = run_network_sim(defense, fast=True)
+        assert observable(arena) == observable(dict_run)
+
+
+class TestCatalogByteIdentity:
+    """The acceptance bar: catalog metrics JSON is byte-identical."""
+
+    def test_full_catalog_reports_match(self, use_backend):
+        from repro.scenarios.run import run_catalog, report_json
+
+        use_backend("arena")
+        arena = report_json(run_catalog(n0_scale=0.05, seed=2021))
+        use_backend("dict")
+        dict_report = report_json(run_catalog(n0_scale=0.05, seed=2021))
+        assert arena == dict_report

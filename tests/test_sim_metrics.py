@@ -1,5 +1,6 @@
 """Tests for counters, time series, spend meters, and the join window."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -241,7 +242,7 @@ class TestSlidingWindowCounter:
     )
     @settings(max_examples=60, deadline=None)
     def test_matches_brute_force(self, raw_events, width):
-        """Property: the batched deque equals a naive recount."""
+        """Property: the batched counter equals a naive recount."""
         events = sorted(raw_events, key=lambda pair: pair[0])
         window = SlidingWindowCounter(width=width)
         for time, count in events:
@@ -249,6 +250,159 @@ class TestSlidingWindowCounter:
         now = events[-1][0]
         expected = sum(c for t, c in events if now - width < t <= now)
         assert window.count(now) == expected
+
+
+class TestSlidingWindowWidening:
+    """Aged-out events must re-enter when the window widens.
+
+    GoodJEst revising J̃ *downward* grows Ergo's window width 1/J̃; the
+    old destructive-eviction counter had already discarded the batches a
+    wider window should re-admit, permanently undercounting the
+    entrance-cost quote.
+    """
+
+    def test_widening_readmits_aged_out_events(self):
+        window = SlidingWindowCounter(width=5.0)
+        window.record(0.0, count=10)
+        window.record(8.0, count=1)
+        # t=0 batch has aged out of the 5s window...
+        assert window.count(8.0) == 1
+        # ...but widening (estimate revised downward) re-admits it.
+        window.set_width(10.0)
+        assert window.count(8.0) == 11
+        window.set_width(5.0)
+        assert window.count(8.0) == 1
+
+    def test_widening_after_repeated_counts(self):
+        window = SlidingWindowCounter(width=1.0)
+        for i in range(20):
+            window.record(float(i))
+            assert window.count(float(i)) == 1  # only the newest survives
+        window.set_width(50.0)
+        assert window.count(19.0) == 20
+
+    def test_max_width_bounds_widening(self):
+        window = SlidingWindowCounter(width=2.0, max_width=10.0)
+        with pytest.raises(ValueError, match="max_width"):
+            window.set_width(11.0)
+        window.set_width(10.0)  # at the cap is fine
+
+    def test_max_width_narrower_than_width_rejected(self):
+        with pytest.raises(ValueError, match="narrower"):
+            SlidingWindowCounter(width=5.0, max_width=1.0)
+
+    def test_pruning_beyond_max_width_keeps_counts_exact(self):
+        window = SlidingWindowCounter(width=1.0, max_width=5.0)
+        for i in range(3000):
+            window.record(float(i))
+        # Batches older than max_width are prunable, but every width up
+        # to the cap still counts exactly.
+        window.set_width(5.0)
+        assert window.count(2999.0) == 5
+        window.set_width(1.0)
+        assert window.count(2999.0) == 1
+        # The prefix was actually compacted (memory bounded).
+        assert len(window._t) < 3000
+
+    def test_clear_resets_widened_window(self):
+        window = SlidingWindowCounter(width=5.0)
+        window.record(0.0, count=7)
+        window.clear(10.0)
+        window.set_width(100.0)
+        assert window.count(10.0) == 0
+
+
+class TestSlidingWindowBatchQuote:
+    """quote_record_run == per-row count()+record() exactly."""
+
+    def per_row(self, window, times):
+        quotes = []
+        for t in times:
+            quotes.append(window.count(t))
+            window.record(t)
+        return quotes
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("n_rows", [1, 5, 40])
+    def test_matches_per_row_sequence(self, seed, n_rows):
+        r = np.random.default_rng(seed)
+        width = float(r.uniform(0.5, 5.0))
+        prior = np.sort(r.uniform(0, 10, int(r.integers(0, 8))))
+        times = np.sort(np.round(r.uniform(10, 20, n_rows), 1)).tolist()
+        batched = SlidingWindowCounter(width=width)
+        rowwise = SlidingWindowCounter(width=width)
+        for t in prior:
+            batched.record(float(t))
+            rowwise.record(float(t))
+        assert batched.quote_record_run(times) == self.per_row(rowwise, times)
+        # Post-run state agrees too: later scalar queries see the run.
+        for probe in (20.0, 21.5, 30.0):
+            assert batched.count(probe) == rowwise.count(probe)
+
+    def test_vector_and_scalar_paths_agree(self):
+        times = [float(t) for t in np.sort(np.random.default_rng(3).uniform(0, 4, 40))]
+        small = SlidingWindowCounter(width=1.0)
+        large = SlidingWindowCounter(width=1.0)
+        # Force the scalar path by feeding rows in sub-threshold chunks.
+        quotes_scalar = []
+        for i in range(0, 40, 4):
+            quotes_scalar.extend(small.quote_record_run(times[i : i + 4]))
+        quotes_vector = large.quote_record_run(times)
+        assert quotes_scalar == quotes_vector
+
+    def test_record_run_matches_records(self):
+        a = SlidingWindowCounter(width=3.0)
+        b = SlidingWindowCounter(width=3.0)
+        times = [0.0, 1.0, 1.0, 2.5]
+        a.record_run(times)
+        for t in times:
+            b.record(t)
+        for probe in (2.5, 3.9, 4.0, 10.0):
+            assert a.count(probe) == b.count(probe)
+
+    def test_floor_enforced_on_runs(self):
+        window = SlidingWindowCounter(width=3.0)
+        window.clear(5.0)
+        with pytest.raises(ValueError, match="floor"):
+            window.quote_record_run([4.0, 6.0])
+        with pytest.raises(ValueError, match="floor"):
+            window.record_run([4.0, 6.0])
+
+
+class TestTimeSeriesViewStaleness:
+    """Resizes reallocate the buffers; held views must not be trusted."""
+
+    def test_views_go_stale_after_resize(self):
+        series = TimeSeries("s")
+        n = TimeSeries.INITIAL_CAPACITY
+        for i in range(n):
+            series.record(float(i), float(i))
+        held = series.values
+        series.record(float(n), 999.0)  # triggers the doubling resize
+        # The held view still aliases the *old* buffer: it cannot see
+        # the new sample, which is why consumers must re-fetch.
+        assert held.shape[0] == n
+        assert series.values.shape[0] == n + 1
+        assert held.base is not series._values
+
+    def test_arrays_snapshot_is_stable(self):
+        series = TimeSeries("s")
+        for i in range(5):
+            series.record(float(i), float(i * 2))
+        times, values = series.arrays()
+        for i in range(5, 200):
+            series.record(float(i), float(i * 2))
+        assert times.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert values.tolist() == [0.0, 2.0, 4.0, 6.0, 8.0]
+        # Snapshots are copies: mutating them cannot corrupt the series.
+        values[:] = -1.0
+        assert series.values[0] == 0.0
+
+    def test_refetched_views_are_current(self):
+        series = TimeSeries("s")
+        for i in range(100):
+            series.record(float(i), float(i))
+        assert series.times.tolist() == [float(i) for i in range(100)]
 
 
 class TestMetricSet:
