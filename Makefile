@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke scenarios bench-quick bench-scale bench-membership perf-trend
+.PHONY: test smoke scenarios traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,16 @@ smoke:
 # small scale (deterministic metrics JSON lands in results/).
 scenarios:
 	$(PYTHON) -m repro scenarios run --all --quick --jobs 2
+
+# Trace-subsystem smoke: registry listing, offline synthetic-generator
+# fetch + streamed stats, packaged-fixture stats, and a streamed replay
+# scenario across the defense suite.  No network, ever.
+traces-smoke:
+	$(PYTHON) -m repro traces list
+	$(PYTHON) -m repro traces fetch synthetic-flap-ci --force
+	$(PYTHON) -m repro traces stats synthetic-flap-ci
+	$(PYTHON) -m repro traces stats tor-relay-flap
+	$(PYTHON) -m repro scenarios run consensus-flap tor-relay-replay --quick --jobs 2
 
 # Dump the perf trajectory snapshot (engine events/sec, fast-path vs
 # heap-path A/B, sweep wall time).
@@ -30,6 +40,13 @@ bench-scale:
 # merges membership_* keys into BENCH_micro.json for the perf trend.
 bench-membership:
 	$(PYTHON) benchmarks/bench_membership.py --json BENCH_micro.json
+
+# Streamed 10^6-event trace replay (synthetic consensus flap) through
+# the scenario runner: wall/budget per defense, >=95% fast-path joins,
+# bounded-memory check under tracemalloc.  Merges a ``runs_trace`` tier
+# into BENCH_scale.json -- run after bench-scale, which rewrites it.
+bench-trace:
+	$(PYTHON) benchmarks/bench_trace_replay.py --json BENCH_scale.json
 
 # Compare freshly produced BENCH_*.json against the committed snapshots
 # and flag >20% regressions (advisory; --strict to fail).

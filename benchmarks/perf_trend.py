@@ -47,11 +47,19 @@ MICRO_METRICS = {
 }
 
 #: per-defense metrics from the scale snapshot's ``runs`` rows (the
-#: ``runs_xl`` tier reports under a ``scale-xl/`` prefix).
+#: ``runs_xl`` tier reports under a ``scale-xl/`` prefix and the
+#: streamed 10^6-event trace-replay tier under ``trace-replay/``).
 SCALE_METRICS = {
     "events/sec": ("events_per_sec", True),
     "wall (s)": ("wall_s", False),
 }
+
+#: scale-snapshot tiers: (rows key, report prefix).
+SCALE_TIERS = (
+    ("runs", "scale"),
+    ("runs_xl", "scale-xl"),
+    ("runs_trace", "trace-replay"),
+)
 
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -133,7 +141,7 @@ def collect_rows(
             if row:
                 rows.append(row)
     if scale_fresh and scale_base:
-        for tier, prefix in (("runs", "scale"), ("runs_xl", "scale-xl")):
+        for tier, prefix in SCALE_TIERS:
             base_runs = {
                 r.get("defense"): r for r in scale_base.get(tier, [])
             }

@@ -11,6 +11,9 @@ Usage::
     python -m repro sensitivity [--quick]
     python -m repro scenarios list
     python -m repro scenarios run <name> [--quick] [--jobs N]
+    python -m repro traces list
+    python -m repro traces fetch <name> [--force]
+    python -m repro traces stats <ref>
     python -m repro all --quick        # every figure, scaled down
 
 ``--jobs N`` fans the sweep out over N worker processes (default: all
@@ -18,7 +21,9 @@ cores); results are deterministic and identical to a serial run.
 Outputs land in ``results/`` (tables, ASCII plots, CSV series).
 ``scenarios`` drives the declarative workload catalog (flash crowds,
 diurnal cycles, mass exoduses, flapping Sybils, trace replays) across
-the whole defense suite; see ``python -m repro scenarios --help``.
+the whole defense suite; ``traces`` manages the churn-trace registry
+(fetch with SHA-256 verification, synthetic consensus-flap generation,
+streaming stats and conversion).  See each subcommand's ``--help``.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.experiments import (
     sensitivity,
 )
 from repro.scenarios import cli as scenarios_cli
+from repro.traces import cli as traces_cli
 
 #: The paper-figure commands (what ``all`` iterates).
 FIGURE_COMMANDS: Dict[str, Callable[[List[str]], object]] = {
@@ -51,6 +57,7 @@ FIGURE_COMMANDS: Dict[str, Callable[[List[str]], object]] = {
 COMMANDS: Dict[str, Callable[[List[str]], object]] = {
     **FIGURE_COMMANDS,
     "scenarios": scenarios_cli.main,
+    "traces": traces_cli.main,
 }
 
 

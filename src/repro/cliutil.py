@@ -1,0 +1,35 @@
+"""Shared helpers for the hand-rolled subcommand CLIs.
+
+The subcommand CLIs (``repro scenarios``, ``repro traces``) parse a
+small flag vocabulary by mutating the argument list in place; these
+helpers are the one copy of that logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def pop_option(args: List[str], flag: str) -> Optional[str]:
+    """Extract ``--flag VALUE`` / ``--flag=VALUE`` (single occurrence)."""
+    for i, arg in enumerate(args):
+        if arg == flag:
+            if i + 1 >= len(args):
+                raise SystemExit(f"{flag} requires a value")
+            value = args[i + 1]
+            del args[i : i + 2]
+            return value
+        if arg.startswith(flag + "="):
+            del args[i]
+            return arg.split("=", 1)[1]
+    return None
+
+
+def pop_multi(args: List[str], flag: str) -> List[str]:
+    """Extract every occurrence of a repeatable ``--flag VALUE``."""
+    values = []
+    while True:
+        value = pop_option(args, flag)
+        if value is None:
+            return values
+        values.append(value)

@@ -35,6 +35,7 @@ from repro.scenarios.run import (
     build_defense,
     run_catalog,
     run_scenario_point,
+    run_spec_point,
 )
 from repro.scenarios.spec import (
     AttackSchedule,
@@ -73,5 +74,6 @@ __all__ = [
     "register",
     "run_catalog",
     "run_scenario_point",
+    "run_spec_point",
     "scenario_names",
 ]

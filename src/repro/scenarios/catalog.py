@@ -146,6 +146,25 @@ register(
 
 register(
     ScenarioSpec(
+        name="consensus-flap",
+        description=(
+            "Streamed replay of a synthetic consensus-flap trace "
+            "(heavy-tailed relay uptimes, diurnal flap rate; generated "
+            "on demand by repro.traces, never materialized) over a "
+            "steady background population under a sustained attack."
+        ),
+        phases=(
+            TraceReplay(path="synthetic-flap-ci", duration=600.0),
+            Silence(duration=60.0),
+        ),
+        n0=300,
+        sessions=SessionSpec(kind="exponential", mean=500.0),
+        attack=AttackSchedule(profile="sustained"),
+    )
+)
+
+register(
+    ScenarioSpec(
         name="calm-then-storm",
         description=(
             "A long calm stretch at one fifth of equilibrium churn, "

@@ -27,6 +27,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.analysis.plotting import format_table
+from repro.cliutil import pop_multi as _pop_multi, pop_option as _pop_option
 from repro.experiments.parallel import parse_jobs
 from repro.experiments.report import results_path
 from repro.scenarios.catalog import CATALOG, get_scenario, scenario_names
@@ -39,30 +40,6 @@ from repro.scenarios.run import (
 
 #: ``--quick`` population scale (the smoke-test miniature).
 QUICK_N0_SCALE = 0.25
-
-
-def _pop_option(args: List[str], flag: str) -> Optional[str]:
-    """Extract ``--flag VALUE`` / ``--flag=VALUE`` (single occurrence)."""
-    for i, arg in enumerate(args):
-        if arg == flag:
-            if i + 1 >= len(args):
-                raise SystemExit(f"{flag} requires a value")
-            value = args[i + 1]
-            del args[i : i + 2]
-            return value
-        if arg.startswith(flag + "="):
-            del args[i]
-            return arg.split("=", 1)[1]
-    return None
-
-
-def _pop_multi(args: List[str], flag: str) -> List[str]:
-    values = []
-    while True:
-        value = _pop_option(args, flag)
-        if value is None:
-            return values
-        values.append(value)
 
 
 def _list_catalog() -> str:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -36,7 +36,9 @@ from repro.churn.sessions import (
     SessionDistribution,
     sample_session_array,
 )
-from repro.churn.traces import InitialMember, load_trace_csv
+from repro.churn.traces import InitialMember, SortedPeakJoins, load_trace_csv
+from repro.traces.reader import TraceBlockStream
+from repro.traces.source import PACKAGED_DATA_DIR, resolve_trace
 from repro.scenarios.spec import (
     DiurnalCycle,
     FlashCrowd,
@@ -51,49 +53,70 @@ from repro.scenarios.spec import (
 from repro.sim.blocks import DEPART, JOIN, ChurnBlock, blocks_from_events
 from repro.sim.events import BadDepartureBatch, Event, GoodDeparture, GoodJoin
 
-#: Packaged trace data (``TraceReplay`` relative paths resolve here).
-DATA_DIR = Path(__file__).resolve().parent / "data"
+#: Packaged trace data (``TraceReplay`` relative paths resolve here);
+#: shared with the :mod:`repro.traces` registry.
+DATA_DIR = PACKAGED_DATA_DIR
 
 
 @dataclass
 class CompiledScenario:
-    """A runnable workload: what the simulation engine consumes."""
+    """A runnable workload: what the simulation engine consumes.
+
+    ``blocks`` holds the time-sorted good churn as a list of *parts*:
+    materialized :class:`~repro.sim.blocks.ChurnBlock` batches
+    interleaved with lazy
+    :class:`~repro.traces.reader.TraceBlockStream` segments (streaming
+    ``TraceReplay`` phases).  Consumers iterate :meth:`iter_blocks`,
+    which flattens both shapes into one lazy block stream -- a lazy
+    segment is parsed from disk only as the engine (or the summary)
+    walks past it, so trace length never bounds memory.
+    """
 
     spec: ScenarioSpec
     horizon: float
     initial: List[InitialMember]
-    #: time-sorted good churn, in struct-of-arrays block form
-    blocks: List[ChurnBlock]
+    #: churn parts: ``ChurnBlock`` batches and lazy trace segments
+    blocks: List
     #: events to push into the queue before run() (Sybil exoduses)
     scheduled: List[Event] = dataclass_field(default_factory=list)
     #: compile-time anomalies (e.g. fraction phases clamped at small
     #: ``--n0-scale``), surfaced through :meth:`summary` and the CLI
     warnings: List[str] = dataclass_field(default_factory=list)
 
+    def iter_blocks(self):
+        """One lazy, time-sorted block stream over all churn parts."""
+        for part in self.blocks:
+            if isinstance(part, ChurnBlock):
+                yield part
+            else:
+                yield from part
+
     def summary(self) -> dict:
-        """Workload-shape statistics (trace side only, defense-free)."""
+        """Workload-shape statistics (trace side only, defense-free).
+
+        Streams: lazy trace segments are re-read block by block, so the
+        summary of a million-event replay costs one bounded-memory pass
+        over the file, not a materialization.
+        """
         joins = 0
         departures = 0
-        bins: dict = {}
-        for block in self.blocks:
+        # Compiled block streams are globally time-sorted (enforced by
+        # ``_check_sorted``), which is exactly the tracker's contract.
+        peak = SortedPeakJoins()
+        for block in self.iter_blocks():
             kinds = block.kinds
             block_joins = int(np.count_nonzero(kinds == JOIN))
             joins += block_joins
             departures += len(block) - block_joins
             # Peak join rate: max joins falling into any 1-second bin.
             if block_joins:
-                join_times = block.times[kinds == JOIN]
-                seconds, counts = np.unique(
-                    np.floor(join_times).astype(np.int64), return_counts=True
-                )
-                for sec, cnt in zip(seconds.tolist(), counts.tolist()):
-                    bins[sec] = bins.get(sec, 0) + cnt
+                peak.add_block(block.times[kinds == JOIN])
         return {
             "horizon": self.horizon,
             "initial_members": len(self.initial),
             "good_joins": joins,
             "good_departures": departures,
-            "peak_join_rate": max(bins.values()) if bins else 0,
+            "peak_join_rate": peak.result(),
             "scheduled_bad_departure_batches": len(self.scheduled),
             "warnings": list(self.warnings),
         }
@@ -115,9 +138,14 @@ class _Compiler:
         self.now = 0.0
         #: coarse population estimate (sizes fraction-based phases)
         self.pop = float(n0)
-        self.blocks: List[ChurnBlock] = []
+        self.blocks: List = []
         self.scheduled: List[Event] = []
         self.warnings: List[str] = []
+        #: set once a streaming TraceReplay has been compiled: its join
+        #: count is unknown without a full pass, so the population
+        #: estimate excludes it and later pop-sized phases get a warning
+        self._streamed_replay = False
+        self._streamed_pop_warned = False
 
     # -- helpers -------------------------------------------------------
     def equilibrium_rate(self) -> float:
@@ -176,9 +204,33 @@ class _Compiler:
         )
         return count
 
+    def _pop_dependent(self, phase) -> bool:
+        """Does compiling ``phase`` read the population estimate?"""
+        if isinstance(phase, SteadyState):
+            return phase.rate is None
+        if isinstance(phase, DiurnalCycle):
+            return phase.base_rate is None
+        if isinstance(phase, FlashCrowd):
+            return phase.joins is None
+        if isinstance(phase, MassExodus):
+            return phase.count is None and phase.fraction > 0.0
+        return isinstance(phase, PartitionRejoin)
+
     # -- phase compilers ----------------------------------------------
     def compile_phase(self, phase) -> None:
         start = self.now
+        if (
+            self._streamed_replay
+            and not self._streamed_pop_warned
+            and self._pop_dependent(phase)
+        ):
+            self.warnings.append(
+                f"{type(phase).__name__}: sized from a population estimate "
+                "that excludes joins from earlier streaming TraceReplay "
+                "phases (use streaming=False to have replayed joins "
+                "counted)"
+            )
+            self._streamed_pop_warned = True
         if isinstance(phase, SteadyState):
             rate = (
                 phase.rate
@@ -280,11 +332,29 @@ class _Compiler:
             raise TypeError(f"unknown phase type: {type(phase).__name__}")
 
     def compile_replay(self, phase: TraceReplay, start: float) -> None:
-        path = Path(phase.path)
-        if not path.is_absolute():
-            packaged = DATA_DIR / path
-            if packaged.exists():
-                path = packaged
+        """Lower a trace-replay phase: lazy block stream or eager load.
+
+        ``phase.path`` is resolved through the :mod:`repro.traces`
+        registry (names, packaged fixtures, plain paths).  The default
+        streaming form appends a re-iterable
+        :class:`~repro.traces.reader.TraceBlockStream` part -- the file
+        is parsed only when the engine (or the summary) consumes it, so
+        replay memory is bounded by the block size, not the trace.  The
+        eager form (``streaming=False``) keeps the historical
+        load-sort-pack behavior and feeds the population estimate.
+        """
+        path = resolve_trace(phase.path)
+        if phase.streaming is not False:
+            part = TraceBlockStream(
+                path,
+                start=start,
+                time_scale=phase.time_scale,
+                duration=phase.duration,
+            )
+            if not part.empty:
+                self.blocks.append(part)
+                self._streamed_replay = True
+            return
         events = load_trace_csv(path)
         if not events:
             return
@@ -349,15 +419,29 @@ def compile_scenario(
     )
 
 
-def _check_sorted(blocks: Sequence[ChurnBlock], name: str) -> None:
-    """Phases compile sequentially, so blocks must chain in time order."""
+def _check_sorted(blocks: Sequence, name: str) -> None:
+    """Phases compile sequentially, so parts must chain in time order.
+
+    Lazy trace segments are checked by their bounds (phase start and
+    ``start + duration``) -- the streaming reader enforces monotonicity
+    *within* a segment and clips at the duration, so the bounds are
+    exact without reading the file.
+    """
     last = float("-inf")
-    for block in blocks:
-        if len(block) == 0:
+    for part in blocks:
+        if not isinstance(part, ChurnBlock):
+            if part.t_begin < last:
+                raise ValueError(
+                    f"scenario {name!r} compiled out of order: trace "
+                    f"segment starting at {part.t_begin} follows time {last}"
+                )
+            last = max(last, part.t_end_bound)
             continue
-        if block.times[0] < last:
+        if len(part) == 0:
+            continue
+        if part.times[0] < last:
             raise ValueError(
                 f"scenario {name!r} compiled out of order: block starting at "
-                f"{block.times[0]} follows time {last}"
+                f"{part.times[0]} follows time {last}"
             )
-        last = float(block.times[-1])
+        last = float(part.times[-1])

@@ -111,9 +111,20 @@ def resolve_t_rate(spec: ScenarioSpec, override: Optional[float]) -> float:
     return float(spec.default_t_rate)
 
 
-def run_scenario_point(point: ScenarioPointSpec) -> Dict:
-    """Simulate one (scenario, defense) coordinate; returns a flat row."""
-    spec = get_scenario(point.scenario)
+def run_spec_point(
+    spec: ScenarioSpec,
+    point: ScenarioPointSpec,
+    churn_fast_path: Optional[bool] = None,
+) -> Dict:
+    """Simulate one (spec, defense) coordinate; returns a flat row.
+
+    This is the registry-free core of :func:`run_scenario_point`:
+    benchmarks and equivalence tests hand it unregistered specs (and an
+    explicit engine-path override for fast-vs-heap A/B runs).  The
+    compiled churn is consumed through
+    :meth:`~repro.scenarios.compile.CompiledScenario.iter_blocks`, so
+    streaming ``TraceReplay`` phases flow to the engine lazily.
+    """
     rngs = RngRegistry(seed=point.seed)
     compiled = compile_scenario(
         spec, rngs.stream(f"scenario.{spec.name}"), n0_scale=point.n0_scale
@@ -123,9 +134,13 @@ def run_scenario_point(point: ScenarioPointSpec) -> Dict:
         spec.attack, point.t_rate, defense, compiled.horizon
     )
     sim = Simulation(
-        SimulationConfig(horizon=compiled.horizon, seed=point.seed),
+        SimulationConfig(
+            horizon=compiled.horizon,
+            seed=point.seed,
+            churn_fast_path=churn_fast_path,
+        ),
         defense,
-        iter(compiled.blocks),
+        compiled.iter_blocks(),
         adversary=adversary,
         rngs=rngs,
         initial_members=compiled.initial,
@@ -162,6 +177,11 @@ def run_scenario_point(point: ScenarioPointSpec) -> Dict:
         "queue_max_size": counters.get("queue_max_size", 0),
         "compile_warnings": shape["warnings"],
     }
+
+
+def run_scenario_point(point: ScenarioPointSpec) -> Dict:
+    """Simulate one catalog (scenario, defense) coordinate."""
+    return run_spec_point(get_scenario(point.scenario), point)
 
 
 def build_points(

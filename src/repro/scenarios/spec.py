@@ -175,16 +175,31 @@ class Silence:
 class TraceReplay:
     """Replay a ``save_trace_csv``-format trace as one phase.
 
+    ``path`` is a **trace ref** resolved through the
+    :mod:`repro.traces` registry: a registered source name (packaged
+    fixture, cached URL, or on-demand synthetic trace), a filename in
+    the packaged scenario data directory, or a filesystem path
+    (``.gz`` compressed traces included).
+
     Event times are interpreted relative to the trace's first event,
     scaled by ``time_scale`` and shifted to the phase start; events past
     ``duration`` are dropped (a shorter trace simply ends early, leaving
-    the rest of the window quiet).  Relative paths resolve against the
-    packaged scenario data directory first, then the working directory.
+    the rest of the window quiet).
+
+    ``streaming`` selects how the trace reaches the engine.  The
+    default (``None`` = streaming) hands the compiler a lazy
+    :class:`~repro.traces.reader.TraceBlockStream`: blocks are parsed
+    on demand in bounded memory, so multi-million-event consensus
+    traces replay without ever materializing per-event objects --
+    byte-identical results to the eager path, which requires a
+    time-sorted trace.  ``streaming=False`` keeps the historical eager
+    load (tolerates unsorted files by sorting in memory).
     """
 
     path: str
     duration: float
     time_scale: float = 1.0
+    streaming: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:

@@ -248,6 +248,21 @@ class Simulation:
         self._block_idents: Optional[list] = None
         self._block_index = 0
         self._initial_members = list(initial_members) if initial_members else []
+        #: proposed trace ident -> latest admitted unique.  Per Section
+        #: 2.1.1 every join is issued a fresh unique name, so a replayed
+        #: trace's departure rows (which name the *proposed* ident, e.g.
+        #: ``relay-09``) would otherwise never match a member and every
+        #: flap cycle would leak one standing ID.  Both churn paths
+        #: translate named good departures through this map, *popping*
+        #: the entry as they do (a re-departure of the same name is a
+        #: no-op either way); session departures of named joiners clean
+        #: up through ``_alias_owners``.  Memory is therefore bounded by
+        #: standing named members, not by total joins.
+        self._trace_aliases: dict = {}
+        #: admitted unique -> proposed ident, for named joiners whose
+        #: departure the engine itself schedules (session rows): when
+        #: that session departure fires, the alias entry is retired too.
+        self._alias_owners: dict = {}
         self._next_sample = 0.0
         #: earliest time another adversary.act() call could matter
         self._adversary_wake = float("-inf")
@@ -417,6 +432,8 @@ class Simulation:
         bid = self._block_idents
         bi = self._block_index
         bn = len(bt) if bt is not None else 0
+        aliases = self._trace_aliases
+        owners = self._alias_owners
         churn_iter = self._churn
         pending = self._pending_churn
         if not block_mode and pending is None and not self._churn_done:
@@ -567,23 +584,48 @@ class Simulation:
                             admitted = defense.process_good_join_batch(
                                 times_seg, ids_seg
                             )
+                            if ids_seg is not None:
+                                for proposed, uid in zip(ids_seg, admitted):
+                                    if proposed is not None and uid is not None:
+                                        aliases[proposed] = uid
                             self._good_join_events += k
                             fast_joins += k
                             if bd is not None:
                                 off = bi
-                                for uid in admitted:
-                                    if uid is not None:
-                                        depart_at = bd[off]
-                                        if depart_at <= horizon:
-                                            heappush(
-                                                heap,
-                                                (depart_at, 0, next_seq(), uid),
-                                            )
-                                            churn_pushes += 1
-                                    off += 1
+                                if ids_seg is None:
+                                    for uid in admitted:
+                                        if uid is not None:
+                                            depart_at = bd[off]
+                                            if depart_at <= horizon:
+                                                heappush(
+                                                    heap,
+                                                    (depart_at, 0, next_seq(), uid),
+                                                )
+                                                churn_pushes += 1
+                                        off += 1
+                                else:
+                                    # Named joiners with engine-scheduled
+                                    # departures: remember the proposed
+                                    # name so the session departure can
+                                    # retire the alias entry.
+                                    for row, uid in enumerate(admitted):
+                                        if uid is not None:
+                                            depart_at = bd[off]
+                                            if depart_at <= horizon:
+                                                heappush(
+                                                    heap,
+                                                    (depart_at, 0, next_seq(), uid),
+                                                )
+                                                churn_pushes += 1
+                                                proposed = ids_seg[row]
+                                                if proposed is not None:
+                                                    owners[uid] = proposed
+                                        off += 1
                                 if len(heap) > max_size:
                                     max_size = len(heap)
                         else:
+                            if ids_seg is not None and aliases:
+                                ids_seg = [aliases.pop(i, i) for i in ids_seg]
                             defense.process_good_departure_batch(times_seg, ids_seg)
                             self._good_departure_events += k
                         fast_events += k
@@ -670,9 +712,18 @@ class Simulation:
                     now = clock._now = d_times[-1]
                     self._good_departure_events += len(d_ids)
                     defense.process_good_departure_batch(d_times, d_ids)
+                    if owners:
+                        for uid in d_ids:
+                            proposed = owners.pop(uid, None)
+                            if proposed is not None and aliases.get(proposed) == uid:
+                                del aliases[proposed]
                 else:
                     self._good_departure_events += 1
                     defense.process_good_departure_batch((event_time,), (event,))
+                    if owners:
+                        proposed = owners.pop(event, None)
+                        if proposed is not None and aliases.get(proposed) == event:
+                            del aliases[proposed]
             else:
                 handler = handlers.get(cls)
                 if handler is None:
@@ -751,19 +802,30 @@ class Simulation:
     def _handle_good_join(self, event: GoodJoin, now: float) -> None:
         self._good_join_events += 1
         admitted_ident = self.defense.process_good_join(event.ident)
-        if admitted_ident is not None and event.session is not None:
-            depart_at = now + event.session
-            if depart_at <= self.config.horizon:
-                self.queue.push_departure(depart_at, admitted_ident)
+        if admitted_ident is not None:
+            if event.ident is not None:
+                self._trace_aliases[event.ident] = admitted_ident
+            if event.session is not None:
+                depart_at = now + event.session
+                if depart_at <= self.config.horizon:
+                    self.queue.push_departure(depart_at, admitted_ident)
+                    if event.ident is not None:
+                        self._alias_owners[admitted_ident] = event.ident
 
     def _handle_good_departure(self, event: GoodDeparture, now: float) -> None:
         self._good_departure_events += 1
-        self.defense.process_good_departure(event.ident)
+        ident = event.ident
+        if ident is not None:
+            ident = self._trace_aliases.pop(ident, ident)
+        self.defense.process_good_departure(ident)
 
     def _handle_session_departure(self, ident: str, now: float) -> None:
         """Out-of-loop dispatch of a tuple-backed session departure."""
         self._good_departure_events += 1
         self.defense.process_good_departure(ident)
+        proposed = self._alias_owners.pop(ident, None)
+        if proposed is not None and self._trace_aliases.get(proposed) == ident:
+            del self._trace_aliases[proposed]
 
     def _handle_bad_departure(self, event: BadDeparture, now: float) -> None:
         self._bad_departure_events += 1

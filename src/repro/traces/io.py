@@ -1,0 +1,50 @@
+"""Low-level trace file I/O shared by the readers, writers, and tools.
+
+Traces are ``time,kind,ident,session`` CSV files (the
+:func:`repro.churn.traces.save_trace_csv` format), optionally
+gzip-compressed.  Compression is selected purely by filename suffix
+(``.gz``), so every consumer -- the streaming reader, the CSV writers,
+the fetch tool -- agrees on the rule without sniffing bytes.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+from pathlib import Path
+from typing import IO, Union
+
+#: The canonical trace CSV header, in column order.
+TRACE_CSV_HEADER = ["time", "kind", "ident", "session"]
+
+#: Bytes per read when hashing / downloading (bounded-memory streaming).
+CHUNK_BYTES = 1 << 20
+
+
+def is_gzip_path(path: Union[str, Path]) -> bool:
+    return str(path).endswith(".gz")
+
+
+def open_trace_text(path: Union[str, Path], mode: str = "rt") -> IO[str]:
+    """Open a trace file for text I/O, transparently (de)compressing.
+
+    ``mode`` is a text mode (``"rt"`` / ``"wt"``); ``newline=""`` is
+    always passed, as the :mod:`csv` module requires.
+    """
+    if "b" in mode:
+        raise ValueError(f"open_trace_text is text-only, got mode {mode!r}")
+    if is_gzip_path(path):
+        return gzip.open(path, mode, newline="")
+    return open(path, mode, newline="")
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    """Hex SHA-256 of a file's raw bytes (compressed bytes for ``.gz``)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(CHUNK_BYTES)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()

@@ -1,0 +1,160 @@
+"""Synthetic consensus-flap traces: Tor-scale churn without the network.
+
+Real relay consensus traces (Winter et al.'s Sybil characterization
+data) are multi-month, multi-million-event files that CI cannot fetch.
+This module generates statistically similar flap traces offline and
+deterministically: a fleet of relays alternates between *up* (a
+heavy-tailed Weibull uptime -- most relays flap quickly, a few stay up
+for a long time, matching measured relay session fits) and *down* (an
+exponential downtime whose mean is modulated by a diurnal factor, so
+flap intensity follows a day/night cycle the way consensus weights do).
+
+Each up-phase emits a ``join`` row at its start and a ``depart`` row at
+its end, with explicit relay idents and *no* session column -- the same
+shape as the packaged ``tor_relay_flap.csv`` fixture, so everything
+downstream (streaming reader, replay phases, stats) treats generated
+and measured traces identically.
+
+Generation is a single time-ordered merge over per-relay state machines
+(one pending event per relay in a heap), so traces of any length are
+produced in ``O(relays)`` memory and can be written straight to a
+gzipped CSV.  A ``(spec)`` pair is fully deterministic: the same spec
+always yields byte-identical files, which is what lets synthetic
+registry entries be (re)generated on demand in any process.
+"""
+
+from __future__ import annotations
+
+import csv
+import heapq
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+from repro.sim.blocks import DEPART, JOIN, ChurnBlock
+from repro.traces.io import TRACE_CSV_HEADER, open_trace_text
+
+
+@dataclass(frozen=True)
+class SyntheticFlapSpec:
+    """Parameters of one synthetic consensus-flap trace (picklable)."""
+
+    relays: int = 2000
+    duration: float = 86_400.0
+    seed: int = 2021
+    #: mean relay uptime (seconds); Weibull with ``uptime_shape`` < 1
+    #: gives the heavy tail measured for relay sessions.
+    mean_uptime: float = 3_600.0
+    uptime_shape: float = 0.55
+    #: mean downtime at diurnal factor 1.0.
+    mean_downtime: float = 900.0
+    #: flap-rate modulation: downtime mean is divided by
+    #: ``1 + amplitude * sin(2*pi*t / period)``.
+    diurnal_amplitude: float = 0.6
+    diurnal_period: float = 86_400.0
+    ident_prefix: str = "relay"
+
+    def __post_init__(self) -> None:
+        if self.relays < 1:
+            raise ValueError(f"need at least one relay: {self.relays}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.mean_uptime <= 0 or self.mean_downtime <= 0:
+            raise ValueError("uptime/downtime means must be positive")
+        if self.uptime_shape <= 0:
+            raise ValueError(f"uptime_shape must be positive: {self.uptime_shape}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1): {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period <= 0:
+            raise ValueError(f"period must be positive: {self.diurnal_period}")
+
+    @property
+    def expected_events(self) -> int:
+        """Rough expected row count (one join + one depart per cycle)."""
+        cycle = self.mean_uptime + self.mean_downtime
+        return int(2 * self.relays * self.duration / cycle)
+
+
+def synthetic_flap_rows(
+    spec: SyntheticFlapSpec,
+) -> Iterator[Tuple[float, int, str]]:
+    """Yield ``(time, kind, ident)`` rows in global time order.
+
+    Memory is ``O(relays)``: a heap holds exactly one pending event per
+    relay, and rows stream out as they are popped.
+    """
+    rng = np.random.default_rng(spec.seed)
+    exponential = rng.exponential
+    weibull = rng.weibull
+    # Weibull scale solved from the mean: E[X] = scale * Gamma(1 + 1/k).
+    up_scale = spec.mean_uptime / math.gamma(1.0 + 1.0 / spec.uptime_shape)
+    amplitude = spec.diurnal_amplitude
+    omega = 2.0 * math.pi / spec.diurnal_period
+    width = len(str(max(spec.relays - 1, 1)))
+    idents = [f"{spec.ident_prefix}-{i:0{width}d}" for i in range(spec.relays)]
+
+    def downtime(now: float) -> float:
+        factor = 1.0 + amplitude * math.sin(omega * now)
+        return exponential(spec.mean_downtime / factor)
+
+    # Every relay starts down; its first join is one (modulated)
+    # downtime draw away.  The heap entry is (time, relay, kind); the
+    # relay index breaks float ties deterministically, and a relay never
+    # has two pending events, so `kind` is never compared.
+    heap = [(downtime(0.0), i, JOIN) for i in range(spec.relays)]
+    heapq.heapify(heap)
+    push = heapq.heappush
+    pop = heapq.heappop
+    duration = spec.duration
+    while heap:
+        t, i, kind = pop(heap)
+        if t > duration:
+            # The heap is time-ordered: everything left is later still.
+            break
+        yield t, kind, idents[i]
+        if kind == JOIN:
+            push(heap, (t + weibull(spec.uptime_shape) * up_scale, i, DEPART))
+        else:
+            push(heap, (t + downtime(t), i, JOIN))
+
+
+def synthetic_flap_blocks(
+    spec: SyntheticFlapSpec, block_size: int = 4096
+) -> Iterator[ChurnBlock]:
+    """Pack the generated rows into churn blocks (idents, no sessions)."""
+    if block_size <= 0:
+        raise ValueError(f"block size must be positive: {block_size}")
+    times: list = []
+    kinds: list = []
+    idents: list = []
+    for t, kind, ident in synthetic_flap_rows(spec):
+        times.append(t)
+        kinds.append(kind)
+        idents.append(ident)
+        if len(times) >= block_size:
+            yield ChurnBlock(times, kinds, idents=idents)
+            times, kinds, idents = [], [], []
+    if times:
+        yield ChurnBlock(times, kinds, idents=idents)
+
+
+def write_flap_csv(path: Union[str, Path], spec: SyntheticFlapSpec) -> int:
+    """Stream a generated trace to ``path`` (gzipped iff ``.gz``).
+
+    Rows are written in the :data:`~repro.traces.io.TRACE_CSV_HEADER`
+    format with empty session cells; returns the row count.
+    """
+    count = 0
+    with open_trace_text(path, "wt") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_CSV_HEADER)
+        kind_name = {JOIN: "join", DEPART: "depart"}
+        for t, kind, ident in synthetic_flap_rows(spec):
+            writer.writerow([f"{t:.6f}", kind_name[kind], ident, ""])
+            count += 1
+    return count

@@ -28,8 +28,9 @@ def test_all_experiments_registered():
         "ablations",
         "sensitivity",
     }
-    # ``all`` regenerates the figures only; scenarios ride their own CLI.
-    assert set(COMMANDS) == set(FIGURE_COMMANDS) | {"scenarios"}
+    # ``all`` regenerates the figures only; the scenario catalog and the
+    # trace registry ride their own subcommand CLIs.
+    assert set(COMMANDS) == set(FIGURE_COMMANDS) | {"scenarios", "traces"}
 
 
 def test_scenarios_subcommand_routed(capsys):
@@ -37,6 +38,13 @@ def test_scenarios_subcommand_routed(capsys):
     out = capsys.readouterr().out
     assert "flash-crowd" in out
     assert main(["scenarios", "bogus"]) == 2
+
+
+def test_traces_subcommand_routed(capsys):
+    assert main(["traces", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "tor-relay-flap" in out
+    assert main(["traces", "bogus"]) == 2
 
 
 def test_committee_quick_runs_end_to_end(capsys, tmp_path, monkeypatch):

@@ -180,20 +180,53 @@ class TestCompile:
             [TraceReplay(path="tor_relay_flap.csv", duration=500.0)], n0=20
         )
         compiled = compile_scenario(spec, _rng())
-        rows = sum(len(b) for b in compiled.blocks)
+        blocks = list(compiled.iter_blocks())
+        rows = sum(len(b) for b in blocks)
         assert rows == 183  # the packaged trace's event count
         # Replay is shifted to phase start 0 and clipped at duration.
-        assert compiled.blocks[0].times[0] == 0.0
-        assert compiled.blocks[-1].times[-1] <= 500.0
+        assert blocks[0].times[0] == 0.0
+        assert blocks[-1].times[-1] <= 500.0
+
+    def test_trace_replay_streams_lazily_by_default(self):
+        from repro.sim.blocks import ChurnBlock
+        from repro.traces.reader import TraceBlockStream
+
+        spec = _spec(
+            [TraceReplay(path="tor_relay_flap.csv", duration=500.0)], n0=20
+        )
+        compiled = compile_scenario(spec, _rng())
+        (part,) = compiled.blocks
+        assert isinstance(part, TraceBlockStream)
+        assert not isinstance(part, ChurnBlock)
+        # The stream is re-iterable: two passes see the same rows.
+        first = [b.times.tolist() for b in compiled.iter_blocks()]
+        second = [b.times.tolist() for b in compiled.iter_blocks()]
+        assert first == second
+
+    def test_trace_replay_eager_opt_out_materializes(self):
+        from repro.sim.blocks import ChurnBlock
+
+        spec = _spec(
+            [
+                TraceReplay(
+                    path="tor_relay_flap.csv", duration=500.0, streaming=False
+                )
+            ],
+            n0=20,
+        )
+        compiled = compile_scenario(spec, _rng())
+        assert all(isinstance(b, ChurnBlock) for b in compiled.blocks)
+        assert sum(len(b) for b in compiled.blocks) == 183
 
     def test_trace_replay_clips_at_duration(self):
         spec = _spec(
             [TraceReplay(path="tor_relay_flap.csv", duration=100.0)], n0=20
         )
         compiled = compile_scenario(spec, _rng())
-        clipped = sum(len(b) for b in compiled.blocks)
+        blocks = list(compiled.iter_blocks())
+        clipped = sum(len(b) for b in blocks)
         assert 0 < clipped < 183
-        assert compiled.blocks[-1].times[-1] <= 100.0
+        assert blocks[-1].times[-1] <= 100.0
 
     def test_summary_reports_workload_shape(self):
         spec = _spec(
