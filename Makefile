@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke scenarios traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
+.PHONY: test smoke scenarios chaos traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,16 @@ smoke:
 # small scale (deterministic metrics JSON lands in results/).
 scenarios:
 	$(PYTHON) -m repro scenarios run --all --quick --jobs 2
+
+# Chaos smoke: the fault-tolerant sweep runtime under deterministic
+# injected faults -- a worker crash (pool rebuild), an injected
+# exception (retry), a hang that outlives the per-point timeout (pool
+# teardown + retry) and a slowed point.  Must exit 0: every point
+# recovers within its retry budget and no completed row is lost.
+chaos:
+	$(PYTHON) -m repro scenarios run flash-crowd --quick --jobs 4 \
+		--max-retries 3 --point-timeout 30 \
+		--fault-spec "crash@0;raise@2;hang@3:300;slow@4:0.2"
 
 # Trace-subsystem smoke: registry listing, offline synthetic-generator
 # fetch + streamed stats, packaged-fixture stats, and a streamed replay

@@ -27,6 +27,12 @@ Three measurements:
    cores the comparison is marked ``"skipped (insufficient cores)"``
    instead of recording a meaningless slowdown.
 
+4. **Checkpoint journaling overhead** -- the same serial sweep re-run
+   with a checkpoint journal enabled.  Reports the journaling wall
+   share (``sweep_checkpoint_overhead_pct``; the perf trend flags it
+   above 5%) and verifies the checkpointed rows are identical to the
+   plain run's (``sweep_checkpoint_rows_identical``).
+
 Run (writes ``BENCH_micro.json`` when ``--json`` is given)::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py --quick --jobs 4 --json BENCH_micro.json
@@ -40,6 +46,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 import time
 from typing import List
 
@@ -191,6 +198,33 @@ def sweep_times(config: Figure8Config, jobs: int,
     }
 
 
+def checkpoint_overhead(config: Figure8Config, serial_rows) -> dict:
+    """The serial sweep with checkpoint journaling on: cost + fidelity.
+
+    ``sweep_checkpoint_overhead_pct`` is the journaling share of the
+    checkpointed run's wall time (time spent atomically rewriting the
+    journal); the committed perf guard expects it under 5%.
+    """
+    from repro.experiments.runtime import ExecutionPolicy
+
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as tmp:
+        policy = ExecutionPolicy(
+            checkpoint=os.path.join(tmp, "bench_sweep.ckpt")
+        )
+        start = time.perf_counter()
+        rpt = figure8.run_report(config, jobs=1, policy=policy)
+        wall = time.perf_counter() - start
+    flush_s = rpt.checkpoint_flush_s
+    return {
+        "sweep_checkpoint_s": round(wall, 3),
+        "sweep_checkpoint_flush_s": round(flush_s, 4),
+        "sweep_checkpoint_overhead_pct": (
+            round(100.0 * flush_s / wall, 2) if wall else 0.0
+        ),
+        "sweep_checkpoint_rows_identical": rpt.rows == serial_rows,
+    }
+
+
 def main(argv: List[str] = None) -> dict:
     args = list(argv if argv is not None else sys.argv[1:])
     jobs = parse_jobs(args)
@@ -207,6 +241,7 @@ def main(argv: List[str] = None) -> dict:
     equivalence, serial_rows, serial_s = fastpath_equivalence(config)
     report.update(equivalence)
     report.update(sweep_times(config, jobs, serial_rows, serial_s))
+    report.update(checkpoint_overhead(config, serial_rows))
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     for i, arg in enumerate(args):

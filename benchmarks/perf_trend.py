@@ -5,7 +5,10 @@ and ``BENCH_scale.json`` in place, so the baseline is read from git
 (``git show HEAD:<file>``) rather than the working tree.  Throughput
 metrics (events/sec, speedups) regress when they *drop* by more than the
 threshold; wall-time metrics regress when they *grow* by more than the
-threshold.  Sub-threshold drift is reported but not flagged.
+threshold.  Sub-threshold drift is reported but not flagged.  A few
+metrics carry *absolute* budgets instead (``MICRO_LIMITS``, e.g.
+checkpoint journaling overhead < 5% of the sweep wall) and are flagged
+whenever the fresh value exceeds the budget, baseline or not.
 
 The report is a markdown table printed to stdout and, when running under
 GitHub Actions (``GITHUB_STEP_SUMMARY`` set), appended to the workflow
@@ -43,6 +46,18 @@ MICRO_METRICS = {
     "membership dict-vs-arena batch speedup": (
         "membership_arena_batch_speedup",
         True,
+    ),
+    "checkpointed quick sweep wall (s)": ("sweep_checkpoint_s", False),
+}
+
+#: metric name -> (json key, absolute ceiling) for the micro snapshot.
+#: Unlike the relative trend these need no committed baseline: the
+#: fresh value alone is compared to a fixed budget (the checkpoint
+#: journaling guard from the fault-tolerant runtime work).
+MICRO_LIMITS = {
+    "checkpoint journaling overhead (% of sweep wall)": (
+        "sweep_checkpoint_overhead_pct",
+        5.0,
     ),
 }
 
@@ -140,6 +155,23 @@ def collect_rows(
             )
             if row:
                 rows.append(row)
+    if micro_fresh:
+        # Absolute budgets: compared against the fixed limit (shown in
+        # the "committed" column), not a committed snapshot, so they
+        # guard even a first run with no baseline.
+        for label, (key, limit) in MICRO_LIMITS.items():
+            fresh = micro_fresh.get(key)
+            if not isinstance(fresh, (int, float)):
+                continue
+            rows.append(
+                {
+                    "metric": f"micro: {label}",
+                    "baseline": limit,
+                    "fresh": fresh,
+                    "change": (fresh - limit) / limit,
+                    "regressed": fresh > limit,
+                }
+            )
     if scale_fresh and scale_base:
         for tier, prefix in SCALE_TIERS:
             base_runs = {

@@ -17,7 +17,13 @@ Usage::
     python -m repro all --quick        # every figure, scaled down
 
 ``--jobs N`` fans the sweep out over N worker processes (default: all
-cores); results are deterministic and identical to a serial run.
+cores); results are deterministic and identical to a serial run.  The
+sweep commands (figures, lowerbound, ablations, ``scenarios run``) all
+run on the fault-tolerant runtime and share its flags: ``--resume``
+(skip points journaled by a previous killed/failed run),
+``--max-retries N``, ``--point-timeout S``, ``--no-checkpoint`` and
+``--fault-spec SPEC`` (deterministic fault injection; see
+EXPERIMENTS.md, "Resilient execution").
 Outputs land in ``results/`` (tables, ASCII plots, CSV series).
 ``scenarios`` drives the declarative workload catalog (flash crowds,
 diurnal cycles, mass exoduses, flapping Sybils, trace replays) across

@@ -30,10 +30,12 @@ from typing import List
 from repro.analysis.plotting import format_table
 from repro.churn.datasets import NETWORKS
 from repro.core.ergo import Ergo, ErgoConfig
+from repro.experiments import runtime
 from repro.experiments.config import scaled_n0
-from repro.experiments.parallel import ADVERSARIES, parallel_map, parse_jobs
+from repro.experiments.parallel import ADVERSARIES, map_report, parse_jobs
 from repro.experiments.report import results_path
 from repro.experiments.runner import run_point
+from repro.resilience import atomic_write_text
 
 
 @dataclass
@@ -121,7 +123,7 @@ def measure_knob(knob: str, value: float, config: AblationConfig) -> AblationRow
     )
 
 
-def run_ablations(config: AblationConfig, jobs: int = 1) -> List[AblationRow]:
+def run_ablations_report(config: AblationConfig, jobs: int = 1, policy=None):
     tasks = [
         (knob, value, config)
         for knob, values in (
@@ -131,7 +133,13 @@ def run_ablations(config: AblationConfig, jobs: int = 1) -> List[AblationRow]:
         )
         for value in values
     ]
-    return parallel_map(measure_knob, tasks, jobs=jobs, star=True)
+    return map_report(measure_knob, tasks, jobs=jobs, star=True, policy=policy)
+
+
+def run_ablations(
+    config: AblationConfig, jobs: int = 1, policy=None
+) -> List[AblationRow]:
+    return run_ablations_report(config, jobs=jobs, policy=policy).rows
 
 
 def render(rows: List[AblationRow], config: AblationConfig) -> str:
@@ -155,14 +163,17 @@ def render(rows: List[AblationRow], config: AblationConfig) -> str:
 
 
 def main(argv: List[str] = None) -> List[AblationRow]:
-    args = argv if argv is not None else sys.argv[1:]
+    args = list(argv if argv is not None else sys.argv[1:])
     config = AblationConfig.quick() if "--quick" in args else AblationConfig()
-    rows = run_ablations(config, jobs=parse_jobs(args))
-    text = render(rows, config)
-    with open(results_path("ablations.txt"), "w") as handle:
-        handle.write(text + "\n")
+    policy = runtime.cli_policy(args, name="ablations")
+    with runtime.exit_on_interrupt():
+        report = run_ablations_report(config, jobs=parse_jobs(args), policy=policy)
+    text = render(report.completed, config)
+    atomic_write_text(results_path("ablations.txt"), text + "\n")
     print(text)
-    return rows
+    if runtime.print_failures(report):
+        raise SystemExit(1)
+    return report.completed
 
 
 if __name__ == "__main__":

@@ -23,10 +23,11 @@ from typing import Callable, Dict, List
 from repro.core.ergo import Ergo, ErgoConfig
 from repro.core.heuristics import ergo_ch1, ergo_ch2, ergo_sf
 from repro.core.protocol import Defense
+from repro.experiments import runtime
 from repro.experiments.config import Figure10Config
 from repro.experiments.parallel import parse_jobs
 from repro.experiments.report import save_figure
-from repro.experiments.runner import SweepResult, sweep
+from repro.experiments.runner import SweepResult, sweep_report
 
 
 def defense_factories(config: Figure10Config) -> Dict[str, Callable[[], Defense]]:
@@ -40,9 +41,9 @@ def defense_factories(config: Figure10Config) -> Dict[str, Callable[[], Defense]
     }
 
 
-def run(config: Figure10Config, jobs: int = 1) -> List[SweepResult]:
+def run_report(config: Figure10Config, jobs: int = 1, policy=None):
     t_rates = [float(2**e) for e in config.t_exponents]
-    return sweep(
+    return sweep_report(
         defense_factories(config),
         networks=config.networks,
         t_rates=t_rates,
@@ -52,21 +53,30 @@ def run(config: Figure10Config, jobs: int = 1) -> List[SweepResult]:
         jobs=jobs,
         factory_provider=defense_factories,
         provider_arg=config,
+        policy=policy,
     )
 
 
+def run(config: Figure10Config, jobs: int = 1, policy=None) -> List[SweepResult]:
+    return run_report(config, jobs=jobs, policy=policy).rows
+
+
 def main(argv: List[str] = None) -> List[SweepResult]:
-    args = argv if argv is not None else sys.argv[1:]
+    args = list(argv if argv is not None else sys.argv[1:])
     config = Figure10Config.quick() if "--quick" in args else Figure10Config()
-    rows = run(config, jobs=parse_jobs(args))
+    policy = runtime.cli_policy(args, name="figure10")
+    with runtime.exit_on_interrupt():
+        report = run_report(config, jobs=parse_jobs(args), policy=policy)
     text = save_figure(
-        rows,
+        report.completed,
         config.networks,
         name="figure10",
         title="Figure 10: algorithmic cost vs adversarial cost (heuristics)",
     )
     print(text)
-    return rows
+    if runtime.print_failures(report):
+        raise SystemExit(1)
+    return report.completed
 
 
 if __name__ == "__main__":

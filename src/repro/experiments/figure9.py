@@ -23,10 +23,12 @@ from typing import List
 from repro.adversary.strategies import PersistentFractionAdversary
 from repro.analysis.plotting import format_table
 from repro.churn.datasets import NETWORKS
+from repro.experiments import runtime
 from repro.experiments.config import Figure9Config, scaled_n0
 from repro.experiments.estimation import EstimationHarness
-from repro.experiments.parallel import parallel_map, parse_jobs
+from repro.experiments.parallel import map_report, parse_jobs
 from repro.experiments.report import results_path
+from repro.resilience import atomic_write_text
 from repro.sim.engine import Simulation, SimulationConfig
 from repro.sim.rng import RngRegistry
 
@@ -102,14 +104,18 @@ def run_cell(
     )
 
 
-def run(config: Figure9Config, jobs: int = 1) -> List[RatioRow]:
+def run_report(config: Figure9Config, jobs: int = 1, policy=None):
     cells = [
         (network_name, fraction, t_rate, config)
         for network_name in config.networks
         for t_rate in config.attack_rates
         for fraction in config.bad_fractions
     ]
-    return parallel_map(run_cell, cells, jobs=jobs, star=True)
+    return map_report(run_cell, cells, jobs=jobs, star=True, policy=policy)
+
+
+def run(config: Figure9Config, jobs: int = 1, policy=None) -> List[RatioRow]:
+    return run_report(config, jobs=jobs, policy=policy).rows
 
 
 def render(rows: List[RatioRow]) -> str:
@@ -131,14 +137,17 @@ def render(rows: List[RatioRow]) -> str:
 
 
 def main(argv: List[str] = None) -> List[RatioRow]:
-    args = argv if argv is not None else sys.argv[1:]
+    args = list(argv if argv is not None else sys.argv[1:])
     config = Figure9Config.quick() if "--quick" in args else Figure9Config()
-    rows = run(config, jobs=parse_jobs(args))
-    text = render(rows)
-    with open(results_path("figure9.txt"), "w") as handle:
-        handle.write(text + "\n")
+    policy = runtime.cli_policy(args, name="figure9")
+    with runtime.exit_on_interrupt():
+        report = run_report(config, jobs=parse_jobs(args), policy=policy)
+    text = render(report.completed)
+    atomic_write_text(results_path("figure9.txt"), text + "\n")
     print(text)
-    return rows
+    if runtime.print_failures(report):
+        raise SystemExit(1)
+    return report.completed
 
 
 if __name__ == "__main__":

@@ -25,9 +25,10 @@ from repro.baselines.ccom import CCom
 from repro.churn.datasets import NETWORKS
 from repro.core.ergo import Ergo
 from repro.core.protocol import Defense
-from repro.experiments import parallel
+from repro.experiments import parallel, runtime
 from repro.experiments.config import LowerBoundConfig, scaled_n0
 from repro.experiments.report import results_path
+from repro.resilience import atomic_write_text
 
 
 def defense_factories() -> Dict[str, Callable[[], Defense]]:
@@ -51,10 +52,9 @@ class LowerBoundRow:
         return self.good_rate / self.bound
 
 
-def run(config: LowerBoundConfig, jobs: int = 1) -> List[LowerBoundRow]:
+def run_report(config: LowerBoundConfig, jobs: int = 1, policy=None):
     network = NETWORKS[config.network]
     n0 = scaled_n0(network.n0, config.n0_scale)
-    join_rate = network.steady_state_rate()
     specs = [
         parallel.PointSpec(
             network=config.network,
@@ -70,7 +70,12 @@ def run(config: LowerBoundConfig, jobs: int = 1) -> List[LowerBoundRow]:
         for exponent in config.t_exponents
         for label in ("ERGO", "CCOM")
     ]
-    points = parallel.execute(specs, defense_factories, jobs=jobs)
+    return parallel.execute_report(
+        specs, defense_factories, jobs=jobs, policy=policy
+    )
+
+
+def _bound_rows(points, join_rate: float) -> List[LowerBoundRow]:
     return [
         LowerBoundRow(
             defense=point.defense,
@@ -83,6 +88,14 @@ def run(config: LowerBoundConfig, jobs: int = 1) -> List[LowerBoundRow]:
     ]
 
 
+def run(
+    config: LowerBoundConfig, jobs: int = 1, policy=None
+) -> List[LowerBoundRow]:
+    join_rate = NETWORKS[config.network].steady_state_rate()
+    report = run_report(config, jobs=jobs, policy=policy)
+    return _bound_rows(report.rows, join_rate)
+
+
 def render(rows: List[LowerBoundRow]) -> str:
     headers = ["defense", "T", "A (measured)", "sqrt(TJ)+J", "A/bound"]
     data = [[r.defense, r.t_rate, r.good_rate, r.bound, r.ratio] for r in rows]
@@ -91,13 +104,18 @@ def render(rows: List[LowerBoundRow]) -> str:
 
 
 def main(argv: List[str] = None) -> List[LowerBoundRow]:
-    args = argv if argv is not None else sys.argv[1:]
+    args = list(argv if argv is not None else sys.argv[1:])
     config = LowerBoundConfig.quick() if "--quick" in args else LowerBoundConfig()
-    rows = run(config, jobs=parallel.parse_jobs(args))
+    policy = runtime.cli_policy(args, name="lowerbound")
+    with runtime.exit_on_interrupt():
+        report = run_report(config, jobs=parallel.parse_jobs(args), policy=policy)
+    join_rate = NETWORKS[config.network].steady_state_rate()
+    rows = _bound_rows(report.completed, join_rate)
     text = render(rows)
-    with open(results_path("lowerbound.txt"), "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(results_path("lowerbound.txt"), text + "\n")
     print(text)
+    if runtime.print_failures(report):
+        raise SystemExit(1)
     return rows
 
 

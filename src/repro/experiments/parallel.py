@@ -3,10 +3,13 @@
 The paper's headline figures are Cartesian sweeps (networks x defenses x
 21 attack rates, 10,000 simulated seconds each).  Every point is an
 independent simulation, so the sweep layer is embarrassingly parallel:
-this module fans picklable :class:`PointSpec` descriptions out over a
-``ProcessPoolExecutor`` and collects :class:`~repro.experiments.runner.
-SweepResult` rows back **in submission order**, so a parallel sweep is
-row-for-row identical to a serial one.
+this module fans picklable :class:`PointSpec` descriptions out over the
+fault-tolerant runtime (:mod:`repro.experiments.runtime` -- per-point
+futures on a ``ProcessPoolExecutor`` with crash recovery, retry/backoff,
+per-point timeouts, and checkpoint/resume) and collects
+:class:`~repro.experiments.runner.SweepResult` rows back **in
+submission order**, so a parallel sweep is row-for-row identical to a
+serial one.
 
 Design constraints:
 
@@ -32,7 +35,6 @@ from __future__ import annotations
 import hashlib
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -169,20 +171,34 @@ def execute(
     factory_provider: Callable,
     provider_arg=None,
     jobs: int = 1,
+    policy=None,
 ) -> List[SweepResult]:
     """Run every spec, in order, optionally across worker processes."""
+    return execute_report(
+        specs, factory_provider, provider_arg, jobs=jobs, policy=policy
+    ).rows
+
+
+def execute_report(
+    specs: Sequence[PointSpec],
+    factory_provider: Callable,
+    provider_arg=None,
+    jobs: int = 1,
+    policy=None,
+):
+    """Like :func:`execute`, returning the runtime's full ``RunReport``
+    (failure rows, retry/rebuild counts, checkpoint accounting)."""
     tasks = [(spec, factory_provider, provider_arg) for spec in specs]
-    return parallel_map(run_spec, tasks, jobs=jobs, star=True)
+    return map_report(run_spec, tasks, jobs=jobs, star=True, policy=policy)
 
 
 def default_chunksize(n_items: int, jobs: int) -> int:
-    """Points per IPC round-trip when fanning a sweep over workers.
+    """Points per IPC round-trip under the *legacy* chunked submission.
 
-    One future per point means one pickle/unpickle and one executor
-    wake-up per point -- measurable overhead when points ≫ workers (the
-    quick sweeps have dozens of sub-second points).  Chunking amortizes
-    that; four chunks per worker keeps the tail balanced when point
-    runtimes vary.
+    The fault-tolerant runtime submits one future per point -- the
+    unit of retry, timeout, and checkpointing -- so this sizing rule no
+    longer drives submission; it is kept for callers that batch items
+    themselves before handing them to :func:`parallel_map`.
     """
     return max(1, math.ceil(n_items / (jobs * 4)))
 
@@ -193,25 +209,36 @@ def parallel_map(
     jobs: int = 1,
     star: bool = False,
     chunksize: Optional[int] = None,
+    policy=None,
 ) -> List:
     """Order-preserving (optionally process-parallel) map.
 
     For experiment harnesses whose per-point result is not a
     :class:`SweepResult` (figure 9 cells, ablations).  ``fn`` must be a
     module-level callable and every item picklable; ``star=True``
-    unpacks each item as ``fn(*item)``.  Items are submitted to the pool
-    in chunks (:func:`default_chunksize` unless overridden) to cut
-    per-point IPC overhead.
+    unpacks each item as ``fn(*item)``.
+
+    Execution is delegated to the fault-tolerant runtime
+    (:mod:`repro.experiments.runtime`): one future per point, pool
+    rebuild on worker crash, deterministic retry/backoff, and -- when
+    ``policy`` asks for them -- per-point timeouts and checkpoint/
+    resume.  ``chunksize`` is accepted for backwards compatibility but
+    no longer affects submission (per-point futures are the retry and
+    checkpoint unit).
     """
-    jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(items) <= 1:
-        return [fn(*item) if star else fn(item) for item in items]
-    jobs = min(jobs, len(items))
-    if chunksize is None:
-        chunksize = default_chunksize(len(items), jobs)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        if star:
-            results = pool.map(fn, *zip(*items), chunksize=chunksize)
-        else:
-            results = pool.map(fn, items, chunksize=chunksize)
-        return list(results)
+    del chunksize  # legacy knob: the runtime submits per point
+    return map_report(fn, items, jobs=jobs, star=star, policy=policy).rows
+
+
+def map_report(
+    fn: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    star: bool = False,
+    policy=None,
+):
+    """:func:`parallel_map` returning the runtime's full ``RunReport``."""
+    from repro.experiments import runtime
+
+    jobs = min(resolve_jobs(jobs), max(1, len(items)))
+    return runtime.run_tasks(fn, items, jobs=jobs, star=star, policy=policy)

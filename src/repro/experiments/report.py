@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.plotting import ascii_loglog_plot, format_table, series_to_csv
 from repro.experiments.runner import SweepResult
+from repro.resilience import atomic_write_text
 
 #: Default output directory (created on demand).
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "results")
@@ -91,13 +92,17 @@ def save_figure(
     title: str,
     results_dir: Optional[str] = None,
 ) -> str:
-    """Write the rendered text and the CSV; return the rendered text."""
+    """Write the rendered text and the CSV; return the rendered text.
+
+    Both files are written atomically (temp + rename), so a sweep
+    killed mid-save never leaves a torn ``results/`` artifact behind.
+    """
     text = render_figure(rows, networks, title)
-    with open(results_path(f"{name}.txt", results_dir), "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(results_path(f"{name}.txt", results_dir), text + "\n")
     all_series: Dict[str, List[tuple]] = {}
     for network in networks:
         for defense, pts in rows_to_series(rows, network, cutoff_invalid=False).items():
             all_series[f"{network}/{defense}"] = pts
-    series_to_csv(all_series, x_name="T", path=results_path(f"{name}.csv", results_dir))
+    csv_text = series_to_csv(all_series, x_name="T")
+    atomic_write_text(results_path(f"{name}.csv", results_dir), csv_text)
     return text

@@ -99,6 +99,7 @@ def sweep(
     jobs: int = 1,
     factory_provider: Optional[Callable] = None,
     provider_arg=None,
+    policy=None,
 ) -> List[SweepResult]:
     """Cartesian sweep over networks × defenses × attack rates.
 
@@ -110,7 +111,39 @@ def sweep(
     classes) or -- when the factories are closures -- by calling
     ``factory_provider(provider_arg)``, both of which must then be
     picklable (e.g. ``figure8.defense_factories`` and its config).
+
+    ``policy`` (an :class:`~repro.experiments.runtime.ExecutionPolicy`)
+    selects the fault-tolerance behaviour: retries, per-point
+    timeouts, checkpoint/resume, fault injection.
     """
+    return sweep_report(
+        defense_factories,
+        networks=networks,
+        t_rates=t_rates,
+        horizon=horizon,
+        seed=seed,
+        n0_scale=n0_scale,
+        jobs=jobs,
+        factory_provider=factory_provider,
+        provider_arg=provider_arg,
+        policy=policy,
+    ).rows
+
+
+def sweep_report(
+    defense_factories: Dict[str, Callable[[], Defense]],
+    networks: List[str],
+    t_rates: List[float],
+    horizon: float,
+    seed: int,
+    n0_scale: float = 1.0,
+    jobs: int = 1,
+    factory_provider: Optional[Callable] = None,
+    provider_arg=None,
+    policy=None,
+):
+    """Like :func:`sweep`, returning the runtime's full ``RunReport``
+    (structured failure rows, retry/rebuild counts, checkpointing)."""
     from repro.experiments import parallel
 
     specs = parallel.build_sweep_specs(
@@ -124,4 +157,6 @@ def sweep(
     if factory_provider is None:
         factory_provider = parallel.factories_from_dict
         provider_arg = defense_factories
-    return parallel.execute(specs, factory_provider, provider_arg, jobs=jobs)
+    return parallel.execute_report(
+        specs, factory_provider, provider_arg, jobs=jobs, policy=policy
+    )

@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the sweep runtime.
+
+Testing crash recovery with real flakiness (random kills, wall-clock
+races) produces flaky tests; this module makes every failure mode a
+*scheduled, reproducible event*.  A fault spec is a small string --
+passed via ``--fault-spec`` on the sweep CLIs or the
+``REPRO_FAULT_SPEC`` environment variable -- that workers consult
+before running each point, so CI can exercise every recovery path of
+:mod:`repro.experiments.runtime` (pool rebuild, retry, timeout,
+resume) without timing games.
+
+Grammar (clauses separated by ``;``)::
+
+    clause := KIND "@" TARGET [":" PARAM] ["x" COUNT]
+    KIND   := crash | hang | raise | slow
+    TARGET := point index (decimal) | "0x" digest prefix | "*"
+    PARAM  := float   (seconds: hang duration / slow-down; default
+                       3600 for hang, 0.05 for slow)
+    COUNT  := attempts the fault fires on (fires while attempt <=
+              COUNT; default 1, "*" = every attempt)
+
+Examples::
+
+    crash@3             worker simulating point 3 calls os._exit on
+                        its first attempt (-> BrokenProcessPool)
+    hang@2:30           point 2's first attempt sleeps 30s (recovered
+                        by --point-timeout)
+    raise@5x2           point 5 raises FaultInjected on attempts 1-2
+    slow@*:0.2          every point sleeps 0.2s before running
+    crash@0x3f2a        crash any point whose coordinate digest starts
+                        with 3f2a
+
+Points are addressed by their submission index (stable: specs are
+built in deterministic order) or by a prefix of their *coordinate
+digest* -- the SHA-256 the runtime derives from the pickled point
+spec -- so a fault can name a point independently of grid ordering.
+A target starting with ``0x`` is always a digest prefix, so index 0
+cannot take an ``xCOUNT`` suffix directly -- address it as ``*`` on a
+single-point sweep or via its digest when a count is needed.
+Because the fault fires as a function of ``(point, attempt)`` only,
+an injected run is exactly as deterministic as a clean one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+#: Worker exit code for injected crashes (distinguishable from real
+#: signals/oom in CI logs).
+CRASH_EXIT_CODE = 86
+
+#: Default injected-hang duration: "forever" at sweep timescales, so an
+#: unconfigured timeout is loudly visible instead of silently absorbed.
+DEFAULT_HANG_S = 3600.0
+
+DEFAULT_SLOW_S = 0.05
+
+KINDS = ("crash", "hang", "raise", "slow")
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string that does not parse."""
+
+
+class FaultInjected(RuntimeError):
+    """The exception ``raise`` clauses throw inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One scheduled fault: kind + point target + attempt window."""
+
+    kind: str
+    target: str  # "*", a decimal index, or "0x<hex digest prefix>"
+    param: Optional[float] = None
+    count: Optional[int] = None  # None = 1; 0 or less is rejected
+
+    def matches(self, index: int, digest: str, attempt: int) -> bool:
+        limit = 1 if self.count is None else self.count
+        if attempt > limit:
+            return False
+        if self.target == "*":
+            return True
+        if self.target.startswith("0x"):
+            return digest.lower().startswith(self.target[2:].lower())
+        return int(self.target) == index
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault spec: every clause, in spec order."""
+
+    clauses: Tuple[FaultClause, ...]
+
+    def apply(self, index: int, digest: str, attempt: int) -> None:
+        """Fire every matching clause, in spec order (worker-side).
+
+        ``slow`` clauses sleep and fall through; ``crash``/``hang``/
+        ``raise`` are terminal for the attempt.
+        """
+        for clause in self.clauses:
+            if not clause.matches(index, digest, attempt):
+                continue
+            if clause.kind == "slow":
+                time.sleep(clause.param if clause.param is not None
+                           else DEFAULT_SLOW_S)
+            elif clause.kind == "crash":
+                # A hard worker death: no exception, no cleanup -- the
+                # coordinator sees BrokenProcessPool, exactly like a
+                # segfault or an OOM kill.
+                os._exit(CRASH_EXIT_CODE)
+            elif clause.kind == "hang":
+                time.sleep(clause.param if clause.param is not None
+                           else DEFAULT_HANG_S)
+            else:  # raise
+                raise FaultInjected(
+                    f"injected fault at point {index} "
+                    f"(digest {digest[:12]}, attempt {attempt})"
+                )
+
+
+def _parse_clause(text: str) -> FaultClause:
+    head, sep, target = text.partition("@")
+    if not sep:
+        raise FaultSpecError(
+            f"fault clause {text!r} is missing '@' (want KIND@TARGET"
+            f"[:PARAM][xCOUNT])"
+        )
+    kind = head.strip().lower()
+    if kind not in KINDS:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r}; choose from: {', '.join(KINDS)}"
+        )
+    count: Optional[int] = None
+
+    def split_count(chunk: str) -> str:
+        # COUNT rides after the last 'x' -- but the 'x' of a "0x" digest
+        # prefix is part of the TARGET, never a count separator.
+        nonlocal count
+        search_from = 2 if chunk[:2].lower() == "0x" else 0
+        pos = chunk.rfind("x", search_from)
+        if pos < 0:
+            return chunk
+        count_text = chunk[pos + 1 :]
+        if count_text.strip() == "*":
+            count = 1 << 30  # effectively "every attempt"
+        else:
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"fault clause {text!r}: count {count_text!r} is not "
+                    f"an integer (use xN or x*)"
+                ) from None
+            if count < 1:
+                raise FaultSpecError(
+                    f"fault clause {text!r}: count must be >= 1"
+                )
+        return chunk[:pos]
+
+    param: Optional[float] = None
+    if ":" in target:
+        target, _, param_text = target.partition(":")
+        param_text = split_count(param_text)
+        try:
+            param = float(param_text)
+        except ValueError:
+            raise FaultSpecError(
+                f"fault clause {text!r}: param {param_text!r} is not a "
+                f"number of seconds"
+            ) from None
+        if param < 0:
+            raise FaultSpecError(f"fault clause {text!r}: param must be >= 0")
+    else:
+        target = split_count(target)
+    target = target.strip()
+    if target != "*" and not target.startswith("0x"):
+        try:
+            int(target)
+        except ValueError:
+            raise FaultSpecError(
+                f"fault clause {text!r}: target {target!r} must be a point "
+                f"index, a 0x digest prefix, or '*'"
+            ) from None
+    elif target.startswith("0x"):
+        prefix = target[2:]
+        if not prefix:
+            raise FaultSpecError(f"fault clause {text!r}: empty digest prefix")
+        try:
+            int(prefix, 16)
+        except ValueError:
+            raise FaultSpecError(
+                f"fault clause {text!r}: digest prefix {prefix!r} is not "
+                f"hex (note '0x' always starts a digest prefix; give point "
+                f"0 a count via its digest or '*')"
+            ) from None
+    return FaultClause(kind=kind, target=target, param=param, count=count)
+
+
+@lru_cache(maxsize=64)
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a ``;``-separated fault spec string (cached per process)."""
+    clauses = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if chunk:
+            clauses.append(_parse_clause(chunk))
+    if not clauses:
+        raise FaultSpecError(f"fault spec {spec!r} contains no clauses")
+    return FaultPlan(clauses=tuple(clauses))
+
+
+def env_fault_spec() -> Optional[str]:
+    """The ambient ``REPRO_FAULT_SPEC`` (empty/unset -> ``None``)."""
+    spec = os.environ.get("REPRO_FAULT_SPEC", "").strip()
+    return spec or None
+
+
+def inject(spec: Optional[str], index: int, digest: str, attempt: int) -> None:
+    """Consult a fault spec before running a point (the worker hook).
+
+    ``spec=None`` is the fast path: no parse, no matching, no cost.
+    """
+    if not spec:
+        return
+    parse_fault_spec(spec).apply(index, digest, attempt)

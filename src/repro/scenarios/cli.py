@@ -16,9 +16,20 @@ Options:
     --jobs N         worker processes (default: all cores)
     --json PATH      also write the metrics report to PATH
 
+Resilience options (see EXPERIMENTS.md, "Resilient execution"):
+    --resume             skip points journaled by a previous (killed or
+                         failed) run of the same sweep
+    --no-checkpoint      disable the per-run checkpoint journal
+    --max-retries N      attempts beyond the first per point (default 2)
+    --point-timeout S    per-point wall clock limit (parallel runs only)
+    --fault-spec SPEC    deterministic fault injection, e.g.
+                         "crash@0;hang@3:20;raise@0x5f;slow@*:0.1x2"
+
 The metrics report (per scenario x defense row: spend rates, peak bad
 fraction, peak join rate, fast-path fraction, ...) always lands in
-``results/scenarios.json``; stdout gets a compact table.
+``results/scenarios.json`` (written atomically); stdout gets a compact
+table.  Points that fail permanently are listed in the report's
+``failures`` array and the exit status is 1.
 """
 
 from __future__ import annotations
@@ -28,8 +39,10 @@ from typing import Dict, List, Optional
 
 from repro.analysis.plotting import format_table
 from repro.cliutil import pop_multi as _pop_multi, pop_option as _pop_option
+from repro.experiments import runtime
 from repro.experiments.parallel import parse_jobs
 from repro.experiments.report import results_path
+from repro.resilience import atomic_write_text
 from repro.scenarios.catalog import CATALOG, get_scenario, scenario_names
 from repro.scenarios.run import (
     SCENARIO_DEFENSES,
@@ -104,6 +117,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     jobs = parse_jobs(args)
     _pop_option(args, "--jobs")
+    policy = runtime.cli_policy(args, name="scenarios")
     run_all = "--all" in args
     args = [a for a in args if a != "--all"]
     quick = "--quick" in args
@@ -133,21 +147,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     n0_scale = float(n0_scale_opt) if n0_scale_opt else (
         QUICK_N0_SCALE if quick else 1.0
     )
-    report = run_catalog(
-        scenarios=names,
-        defenses=defenses,
-        seed=int(seed_opt) if seed_opt else 2021,
-        t_rate=float(t_rate_opt) if t_rate_opt else None,
-        n0_scale=n0_scale,
-        jobs=jobs,
-    )
+    with runtime.exit_on_interrupt():
+        report = run_catalog(
+            scenarios=names,
+            defenses=defenses,
+            seed=int(seed_opt) if seed_opt else 2021,
+            t_rate=float(t_rate_opt) if t_rate_opt else None,
+            n0_scale=n0_scale,
+            jobs=jobs,
+            policy=policy,
+        )
     text = report_json(report)
     out_path = results_path("scenarios.json")
-    with open(out_path, "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(out_path, text + "\n")
     if json_path:
-        with open(json_path, "w") as handle:
-            handle.write(text + "\n")
+        atomic_write_text(json_path, text + "\n")
     print(_report_table(report))
     warnings = sorted(
         {
@@ -159,6 +173,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     for warning in warnings:
         print(f"warning: {warning}")
     print(f"\nmetrics JSON: {out_path}")
+    failures = report.get("failures", [])
+    if failures:
+        print(f"\n{len(failures)} point(s) failed after retries:")
+        print(
+            format_table(
+                ["#", "point", "attempts", "error", "last_attempt_s"],
+                [
+                    [
+                        f["index"],
+                        f["point"],
+                        f["attempts"],
+                        f["error"],
+                        f["duration_s"],
+                    ]
+                    for f in failures
+                ],
+            )
+        )
+        return 1
     return 0
 
 

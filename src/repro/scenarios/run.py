@@ -29,7 +29,7 @@ from repro.baselines.sybilcontrol import SybilControl
 from repro.core.ergo import Ergo, ErgoConfig
 from repro.core.protocol import Defense
 from repro.experiments.config import KAPPA
-from repro.experiments.parallel import derive_seed, parallel_map
+from repro.experiments.parallel import derive_seed, map_report
 from repro.experiments.runner import adversary_for
 from repro.scenarios.catalog import get_scenario, scenario_names
 from repro.scenarios.compile import compile_scenario
@@ -216,17 +216,28 @@ def run_catalog(
     t_rate: Optional[float] = None,
     n0_scale: float = 1.0,
     jobs: int = 1,
+    policy=None,
 ) -> Dict:
-    """Run scenarios x defenses and collect the metrics report."""
+    """Run scenarios x defenses and collect the metrics report.
+
+    ``policy`` (an :class:`~repro.experiments.runtime.ExecutionPolicy`)
+    enables retries, per-point timeouts, checkpoint/resume and fault
+    injection.  Points that fail permanently are dropped from ``rows``
+    and surface as structured ``failures`` entries instead.
+    """
     names = list(scenarios) if scenarios is not None else scenario_names()
     points = build_points(names, defenses, seed, t_rate, n0_scale)
-    rows = parallel_map(run_scenario_point, points, jobs=jobs)
+    report = map_report(run_scenario_point, points, jobs=jobs, policy=policy)
     return {
         "seed": seed,
         "n0_scale": n0_scale,
         "scenarios": names,
         "defenses": list(defenses),
-        "rows": rows,
+        "rows": report.completed,
+        "failures": [f.as_dict() for f in report.failures],
+        "resumed": report.resumed,
+        "retries": report.retries,
+        "pool_rebuilds": report.pool_rebuilds,
     }
 
 

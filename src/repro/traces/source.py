@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import hashlib
 import os
+import socket
+import urllib.error
 import urllib.request
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.resilience import BackoffPolicy, retry_call
 from repro.traces.io import CHUNK_BYTES, file_sha256
 from repro.traces.synthetic import SyntheticFlapSpec, write_flap_csv
 
@@ -192,8 +195,21 @@ def _atomic_tmp(target: Path) -> Path:
 #: retryable error instead of a forever-hung fetch.
 DOWNLOAD_TIMEOUT_S = 60.0
 
+#: Attempts per download (1 initial + 2 retries) and the capped
+#: exponential backoff between them.
+DOWNLOAD_ATTEMPTS = 3
+DOWNLOAD_BACKOFF = BackoffPolicy(base_delay=1.0, factor=2.0, max_delay=30.0)
 
-def _download(url: str, target: Path) -> None:
+
+def _transient_download_error(exc: BaseException) -> bool:
+    """Worth retrying?  Transport faults and server-side errors are;
+    definitive client errors (404, 403, ...) are not."""
+    if isinstance(exc, urllib.error.HTTPError):
+        return exc.code >= 500 or exc.code == 429
+    return isinstance(exc, (urllib.error.URLError, socket.timeout, OSError))
+
+
+def _download_once(url: str, target: Path) -> None:
     """Stream ``url`` to ``target`` atomically (bounded memory)."""
     tmp = _atomic_tmp(target)
     try:
@@ -209,6 +225,22 @@ def _download(url: str, target: Path) -> None:
     finally:
         if tmp.exists():
             tmp.unlink()
+
+
+def _download(url: str, target: Path) -> None:
+    """:func:`_download_once` with bounded retries on transient faults.
+
+    Each attempt is independently atomic (its temp file is cleaned up
+    on failure), so a retry always starts from a clean slate.  Backoff
+    delays are deterministic per URL (SHA-256-derived jitter).
+    """
+    retry_call(
+        lambda: _download_once(url, target),
+        max_retries=DOWNLOAD_ATTEMPTS - 1,
+        policy=DOWNLOAD_BACKOFF,
+        should_retry=_transient_download_error,
+        key=url,
+    )
 
 
 def _generate_synthetic(spec: SyntheticFlapSpec, target: Path) -> None:

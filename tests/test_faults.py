@@ -1,0 +1,109 @@
+"""The deterministic fault-injection grammar and worker hook."""
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_SLOW_S,
+    FaultClause,
+    FaultInjected,
+    FaultSpecError,
+    env_fault_spec,
+    inject,
+    parse_fault_spec,
+)
+
+DIGEST = "5f2a" + "0" * 60
+
+
+class TestGrammar:
+    def test_minimal_clause(self):
+        (clause,) = parse_fault_spec("crash@3").clauses
+        assert clause == FaultClause(kind="crash", target="3")
+
+    def test_param_and_count(self):
+        (clause,) = parse_fault_spec("hang@2:30x4").clauses
+        assert clause.kind == "hang"
+        assert clause.target == "2"
+        assert clause.param == 30.0
+        assert clause.count == 4
+
+    def test_count_star_means_every_attempt(self):
+        (clause,) = parse_fault_spec("raise@5x*").clauses
+        assert clause.matches(5, DIGEST, 1)
+        assert clause.matches(5, DIGEST, 10_000)
+
+    def test_digest_prefix_target(self):
+        (clause,) = parse_fault_spec("crash@0x5F2A").clauses
+        assert clause.matches(99, DIGEST, 1)  # index-independent
+        assert not clause.matches(0, "ab" + "0" * 62, 1)
+
+    def test_wildcard_target_and_multiple_clauses(self):
+        plan = parse_fault_spec("slow@*:0.2; raise@1")
+        assert len(plan.clauses) == 2
+        assert plan.clauses[0].matches(7, DIGEST, 1)
+
+    def test_default_count_is_first_attempt_only(self):
+        (clause,) = parse_fault_spec("raise@1").clauses
+        assert clause.matches(1, DIGEST, 1)
+        assert not clause.matches(1, DIGEST, 2)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode@1",      # unknown kind
+            "crash",          # no @
+            "crash@abc",      # non-numeric index
+            "crash@1x0",      # count < 1
+            "crash@1xq",      # non-integer count
+            "hang@1:soon",    # non-numeric param
+            "hang@1:-5",      # negative param
+            "crash@0x",       # empty digest prefix
+            "  ;  ",          # no clauses
+        ],
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+
+class TestApply:
+    def test_raise_clause_throws_fault_injected(self):
+        with pytest.raises(FaultInjected, match="point 3"):
+            inject("raise@3", 3, DIGEST, 1)
+
+    def test_non_matching_point_untouched(self):
+        inject("raise@3", 4, DIGEST, 1)  # no error
+
+    def test_attempt_past_count_untouched(self):
+        inject("raise@3x2", 3, DIGEST, 3)  # fires on attempts 1-2 only
+
+    def test_slow_sleeps_then_falls_through(self, monkeypatch):
+        import repro.faults as faults_mod
+
+        slept = []
+        monkeypatch.setattr(faults_mod.time, "sleep", slept.append)
+        with pytest.raises(FaultInjected):
+            inject("slow@*;raise@0", 0, DIGEST, 1)
+        assert slept == [DEFAULT_SLOW_S]
+
+    def test_hang_uses_param_seconds(self, monkeypatch):
+        import repro.faults as faults_mod
+
+        slept = []
+        monkeypatch.setattr(faults_mod.time, "sleep", slept.append)
+        inject("hang@0:12.5", 0, DIGEST, 1)
+        assert slept == [12.5]
+
+    def test_none_spec_is_free(self):
+        inject(None, 0, DIGEST, 1)
+        inject("", 0, DIGEST, 1)
+
+
+class TestEnv:
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+        assert env_fault_spec() is None
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "  ")
+        assert env_fault_spec() is None
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "crash@1")
+        assert env_fault_spec() == "crash@1"

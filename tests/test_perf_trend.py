@@ -58,6 +58,26 @@ class TestCompare:
         assert trend.collect_rows(_micro(), None, _scale(), None, 0.2) == []
 
 
+class TestLimits:
+    def test_overhead_within_budget_not_flagged(self, trend):
+        micro = dict(_micro(), sweep_checkpoint_overhead_pct=2.5)
+        rows = trend.collect_rows(micro, _micro(), None, None, 0.2)
+        row = next(
+            r for r in rows if "journaling overhead" in r["metric"]
+        )
+        assert not row["regressed"]
+
+    def test_overhead_over_budget_flagged_without_baseline(self, trend):
+        # Absolute budgets guard even a first run: no committed
+        # baseline (micro_base=None), yet the limit row still appears.
+        micro = dict(_micro(), sweep_checkpoint_overhead_pct=7.5)
+        rows = trend.collect_rows(micro, None, None, None, 0.2)
+        (row,) = rows
+        assert "journaling overhead" in row["metric"]
+        assert row["baseline"] == 5.0
+        assert row["regressed"]
+
+
 class TestRender:
     def test_regression_shows_warning(self, trend):
         rows = trend.collect_rows(_micro(eps=100_000), _micro(), None, None, 0.2)

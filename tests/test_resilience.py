@@ -1,0 +1,153 @@
+"""Resilience primitives: deterministic backoff, retries, atomic writes."""
+
+import os
+import urllib.error
+
+import pytest
+
+from repro.resilience import (
+    NO_DELAY,
+    BackoffPolicy,
+    atomic_tmp_path,
+    atomic_write_text,
+    backoff_delay,
+    deterministic_jitter,
+    retry_call,
+)
+
+
+class TestBackoff:
+    def test_jitter_is_deterministic_and_bounded(self):
+        a = deterministic_jitter("point-7", 1)
+        b = deterministic_jitter("point-7", 1)
+        assert a == b
+        assert 0.0 <= a < 1.0
+        # Different attempts and keys spread out.
+        assert deterministic_jitter("point-7", 2) != a
+        assert deterministic_jitter("point-8", 1) != a
+
+    def test_delay_grows_exponentially_until_cap(self):
+        policy = BackoffPolicy(base_delay=1.0, factor=2.0, max_delay=4.0)
+        # Jitter scales into [raw/2, raw): attempt raws are 1, 2, 4, 4.
+        d1 = backoff_delay(policy, "k", 1)
+        d2 = backoff_delay(policy, "k", 2)
+        d3 = backoff_delay(policy, "k", 3)
+        d4 = backoff_delay(policy, "k", 4)
+        assert 0.5 <= d1 < 1.0
+        assert 1.0 <= d2 < 2.0
+        assert 2.0 <= d3 < 4.0
+        assert 2.0 <= d4 < 4.0  # capped
+
+    def test_same_run_backs_off_identically(self):
+        policy = BackoffPolicy()
+        first = [backoff_delay(policy, "digest", a) for a in (1, 2, 3)]
+        again = [backoff_delay(policy, "digest", a) for a in (1, 2, 3)]
+        assert first == again
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            backoff_delay(BackoffPolicy(), "k", 0)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+
+    def test_no_delay_policy_is_zero(self):
+        assert backoff_delay(NO_DELAY, "k", 3) == 0.0
+
+
+class TestRetryCall:
+    def test_retries_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        slept = []
+        result = retry_call(
+            flaky, max_retries=3, policy=NO_DELAY, sleep=slept.append
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+
+    def test_budget_exhausted_reraises_last_error(self):
+        def always():
+            raise OSError("down")
+
+        with pytest.raises(OSError, match="down"):
+            retry_call(always, max_retries=2, policy=NO_DELAY)
+
+    def test_should_retry_filter_short_circuits(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise urllib.error.HTTPError("u", 404, "nf", None, None)
+
+        with pytest.raises(urllib.error.HTTPError):
+            retry_call(
+                fatal,
+                max_retries=5,
+                policy=NO_DELAY,
+                should_retry=lambda exc: getattr(exc, "code", 500) >= 500,
+            )
+        assert len(calls) == 1  # no retries for a definitive client error
+
+    def test_on_retry_hook_sees_attempt_and_delay(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ValueError("x")
+            return 1
+
+        retry_call(
+            flaky,
+            max_retries=3,
+            policy=NO_DELAY,
+            on_retry=lambda attempt, exc, delay: seen.append((attempt, delay)),
+        )
+        assert [a for a, _ in seen] == [1, 2]
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "one\n")
+        atomic_write_text(target, "two\n")
+        assert target.read_text() == "two\n"
+        # No temp litter left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "deep\n")
+        assert target.read_text() == "deep\n"
+
+    def test_tmp_path_is_same_directory_and_keeps_name_suffix(self, tmp_path):
+        target = tmp_path / "trace.csv.gz"
+        tmp = atomic_tmp_path(target)
+        assert tmp.parent == target.parent
+        assert tmp.name.endswith("trace.csv.gz")
+        assert str(os.getpid()) in tmp.name
+
+    def test_failed_write_leaves_previous_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "good\n")
+
+        real_replace = os.replace
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(target, "bad\n")
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert target.read_text() == "good\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

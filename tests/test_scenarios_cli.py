@@ -73,6 +73,69 @@ def test_run_writes_metrics_json(tmp_path, capsys, _redirect_results):
     assert "flash-crowd" in out
 
 
+class TestResilience:
+    ARGS = [
+        "run", "flash-crowd",
+        "--defense", "Null",
+        "--quick",
+        "--seed", "3",
+        "--jobs", "1",
+    ]
+
+    def test_injected_transient_fault_recovered(self, _redirect_results):
+        code = main(
+            self.ARGS + ["--max-retries", "2", "--fault-spec", "raise@0"]
+        )
+        assert code == 0
+        report = json.loads(
+            (_redirect_results / "scenarios.json").read_text()
+        )
+        assert report["failures"] == []
+        assert report["retries"] >= 1
+        # A clean run leaves no checkpoint behind.
+        assert not (
+            _redirect_results / "checkpoints" / "scenarios.ckpt"
+        ).exists()
+
+    def test_permanent_failure_exits_1_and_keeps_checkpoint(
+        self, _redirect_results, capsys
+    ):
+        # Two points (two defenses); every attempt of point 1 fails
+        # ("raise@1x*") with no retry budget, point 0 completes and is
+        # journaled.
+        args = self.ARGS + ["--defense", "ERGO"]
+        code = main(
+            args + ["--max-retries", "0", "--fault-spec", "raise@1x*"]
+        )
+        assert code == 1
+        report = json.loads(
+            (_redirect_results / "scenarios.json").read_text()
+        )
+        assert len(report["rows"]) == 1  # the surviving point
+        (failure,) = report["failures"]
+        assert failure["index"] == 1
+        assert failure["attempts"] == 1
+        assert "injected fault" in failure["error"]
+        out = capsys.readouterr().out
+        assert "failed after retries" in out
+        # The journal survives a failed run so --resume can pick it up.
+        ckpt = _redirect_results / "checkpoints" / "scenarios.ckpt"
+        assert ckpt.exists()
+        # ... and a --resume re-run (faults gone) completes cleanly.
+        assert main(args + ["--resume"]) == 0
+        assert not ckpt.exists()
+        report = json.loads(
+            (_redirect_results / "scenarios.json").read_text()
+        )
+        assert report["failures"] == []
+        assert report["resumed"] == 1
+        assert len(report["rows"]) == 2
+
+    def test_bad_fault_spec_fails_before_running(self, _redirect_results):
+        with pytest.raises(SystemExit, match="explode"):
+            main(self.ARGS + ["--fault-spec", "explode@1"])
+
+
 def test_run_same_seed_same_json(tmp_path, _redirect_results):
     paths = [tmp_path / "a.json", tmp_path / "b.json"]
     for path in paths:

@@ -194,6 +194,96 @@ class TestUrlFetch:
         assert file_sha256(fetch_trace("url-heal")) == source.sha256
 
 
+class TestDownloadRetry:
+    """Transient fetch faults are retried; definitive ones are not."""
+
+    @pytest.fixture(autouse=True)
+    def _no_backoff_sleep(self, monkeypatch):
+        import repro.resilience
+        import repro.traces.source as source_mod
+
+        monkeypatch.setattr(
+            source_mod, "DOWNLOAD_BACKOFF", repro.resilience.NO_DELAY
+        )
+
+    def _flaky_urlopen(self, monkeypatch, failures):
+        """Make the first ``len(failures)`` urlopen calls raise, then
+        delegate to the real opener.  Returns the call log."""
+        import urllib.request
+
+        import repro.traces.source as source_mod
+
+        real = urllib.request.urlopen
+        calls = []
+
+        def fake(url, timeout=None):
+            calls.append(url)
+            if len(calls) <= len(failures):
+                raise failures[len(calls) - 1]
+            return real(url, timeout=timeout)
+
+        monkeypatch.setattr(
+            source_mod.urllib.request, "urlopen", fake
+        )
+        return calls
+
+    def _file_source(self, tmp_path, name):
+        src = tmp_path / "upstream.csv"
+        src.write_text(
+            "time,kind,ident,session\n1.0,join,a,\n2.0,depart,a,\n"
+        )
+        return register_trace(
+            TraceSource(name=name, url=src.as_uri(), sha256=file_sha256(src)),
+            replace=True,
+        )
+
+    def test_transient_errors_retried_until_success(
+        self, cache_dir, tmp_path, monkeypatch
+    ):
+        import urllib.error
+
+        source = self._file_source(tmp_path, "url-flaky")
+        calls = self._flaky_urlopen(
+            monkeypatch,
+            [
+                urllib.error.URLError("connection reset"),
+                urllib.error.HTTPError("u", 503, "unavailable", None, None),
+            ],
+        )
+        path = fetch_trace("url-flaky")
+        assert file_sha256(path) == source.sha256
+        assert len(calls) == 3  # two transient failures + one success
+
+    def test_client_error_is_not_retried(
+        self, cache_dir, tmp_path, monkeypatch
+    ):
+        import urllib.error
+
+        self._file_source(tmp_path, "url-404")
+        calls = self._flaky_urlopen(
+            monkeypatch,
+            [urllib.error.HTTPError("u", 404, "not found", None, None)] * 5,
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            fetch_trace("url-404")
+        assert len(calls) == 1  # a definitive 404 fails immediately
+
+    def test_retry_budget_is_bounded(self, cache_dir, tmp_path, monkeypatch):
+        import urllib.error
+
+        from repro.traces.source import DOWNLOAD_ATTEMPTS
+
+        self._file_source(tmp_path, "url-down")
+        calls = self._flaky_urlopen(
+            monkeypatch, [urllib.error.URLError("refused")] * 10
+        )
+        with pytest.raises(urllib.error.URLError):
+            fetch_trace("url-down")
+        assert len(calls) == DOWNLOAD_ATTEMPTS
+        # Failed attempts leave no temp litter in the cache.
+        assert not list(cache_dir.glob(".tmp*"))
+
+
 class TestResolution:
     def test_absolute_and_cwd_paths(self, tmp_path, monkeypatch):
         path = tmp_path / "local.csv"
