@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke scenarios chaos traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
+.PHONY: test smoke scenarios chaos serve-smoke traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,13 @@ chaos:
 	$(PYTHON) -m repro scenarios run flash-crowd --quick --jobs 4 \
 		--max-retries 3 --point-timeout 30 \
 		--fault-spec "crash@0;raise@2;hang@3:300;slow@4:0.2"
+
+# Service smoke: boot `repro serve` on an ephemeral port, submit a
+# catalog job with an injected worker crash (crash@0), poll it to
+# `succeeded`, check /healthz + /metrics, then SIGTERM -- the service
+# must drain and exit 0.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 # Trace-subsystem smoke: registry listing, offline synthetic-generator
 # fetch + streamed stats, packaged-fixture stats, and a streamed replay

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""``make serve-smoke`` -- end-to-end drill of ``python -m repro serve``.
+
+Boots the service on an ephemeral port with a throwaway data dir,
+then walks the whole lifecycle the ISSUE acceptance demands:
+
+1. ``GET /healthz`` answers ``ok``;
+2. ``POST /jobs`` submits a small catalog job with an injected
+   ``crash@0`` fault (the first point's first attempt hard-kills its
+   worker process -- the supervisor must absorb the
+   ``BrokenProcessPool``, rebuild, and retry);
+3. the job is polled to ``succeeded`` and its rows are served back;
+4. ``GET /metrics`` exposes the Prometheus counters;
+5. SIGTERM drains the service, which must exit 0 within the drain
+   timeout.
+
+Stdlib only; exits non-zero (with the service log) on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+POLL_TIMEOUT_S = 180.0
+DRAIN_TIMEOUT_S = 20.0
+
+JOB = {
+    "scenarios": ["flash-crowd"],
+    "defenses": ["Null", "ERGO"],
+    "n0_scale": 0.05,
+    "jobs": 2,               # crash faults need worker *processes*
+    "max_retries": 2,
+    "fault_spec": "crash@0",  # first point's first attempt dies hard
+}
+
+
+def fail(message: str, output: str = "") -> None:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    if output:
+        print("---- service output ----", file=sys.stderr)
+        print(output, file=sys.stderr)
+    sys.exit(1)
+
+
+def request(method: str, url: str, payload=None, timeout: float = 15.0):
+    body = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=body, method=method)
+    if body is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def main() -> None:
+    data_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--port", "0", "--data-dir", data_dir,
+         "--max-workers", "1", "--drain-timeout", str(DRAIN_TIMEOUT_S)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    lines: list = []
+    banner = threading.Event()
+    base = [""]
+
+    def pump() -> None:
+        for line in proc.stdout:  # type: ignore[union-attr]
+            lines.append(line)
+            match = re.search(r"listening on (http://[\w.:]+)", line)
+            if match:
+                base[0] = match.group(1)
+                banner.set()
+
+    reader = threading.Thread(target=pump, daemon=True)
+    reader.start()
+
+    try:
+        if not banner.wait(timeout=60.0):
+            fail("service never printed its listen banner", "".join(lines))
+        url = base[0]
+
+        status, body = request("GET", f"{url}/healthz")
+        if status != 200 or json.loads(body)["status"] != "ok":
+            fail(f"healthz: {status} {body}", "".join(lines))
+
+        status, body = request("POST", f"{url}/jobs", JOB)
+        if status != 201:
+            fail(f"submit: {status} {body}", "".join(lines))
+        job_id = json.loads(body)["id"]
+        print(f"serve-smoke: submitted job {job_id} (crash@0 injected)")
+
+        deadline = time.time() + POLL_TIMEOUT_S
+        record = {}
+        while time.time() < deadline:
+            status, body = request("GET", f"{url}/jobs/{job_id}")
+            record = json.loads(body)
+            if status == 200 and record["state"] in ("succeeded", "failed"):
+                break
+            time.sleep(0.5)
+        if record.get("state") != "succeeded":
+            fail(f"job did not succeed: {record}", "".join(lines))
+        summary = record["summary"]
+        if summary["pool_rebuilds"] + summary["retries"] < 1:
+            fail(f"injected crash left no recovery trace: {summary}",
+                 "".join(lines))
+        print(f"serve-smoke: job succeeded "
+              f"(retries={summary['retries']}, "
+              f"pool_rebuilds={summary['pool_rebuilds']})")
+
+        status, body = request("GET", f"{url}/jobs/{job_id}/rows")
+        rows = json.loads(body)
+        if status != 200 or rows["count"] != len(JOB["defenses"]):
+            fail(f"rows: {status} {body}", "".join(lines))
+
+        status, body = request("GET", f"{url}/metrics")
+        if status != 200 or "repro_serve_jobs" not in body:
+            fail(f"metrics: {status} {body[:200]}", "".join(lines))
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=DRAIN_TIMEOUT_S + 30.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("service did not exit after SIGTERM + drain timeout",
+                 "".join(lines))
+        if code != 0:
+            fail(f"service exited {code} after SIGTERM", "".join(lines))
+        print("serve-smoke: SIGTERM drained cleanly (exit 0)")
+        print("serve-smoke: PASS")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    main()

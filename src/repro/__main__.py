@@ -11,6 +11,7 @@ Usage::
     python -m repro sensitivity [--quick]
     python -m repro scenarios list
     python -m repro scenarios run <name> [--quick] [--jobs N]
+    python -m repro serve [--port N] [--data-dir PATH]
     python -m repro traces list
     python -m repro traces fetch <name> [--force]
     python -m repro traces stats <ref>
@@ -23,7 +24,10 @@ run on the fault-tolerant runtime and share its flags: ``--resume``
 (skip points journaled by a previous killed/failed run),
 ``--max-retries N``, ``--point-timeout S``, ``--no-checkpoint`` and
 ``--fault-spec SPEC`` (deterministic fault injection; see
-EXPERIMENTS.md, "Resilient execution").
+EXPERIMENTS.md, "Resilient execution").  ``serve`` boots the
+long-running simulation service: HTTP job submission with admission
+control, a durable WAL-mode sqlite job store, supervised workers, and
+crash recovery on restart (EXPERIMENTS.md, "Simulation service").
 Outputs land in ``results/`` (tables, ASCII plots, CSV series).
 ``scenarios`` drives the declarative workload catalog (flash crowds,
 diurnal cycles, mass exoduses, flapping Sybils, trace replays) across
@@ -47,6 +51,7 @@ from repro.experiments import (
     sensitivity,
 )
 from repro.scenarios import cli as scenarios_cli
+from repro.serve import cli as serve_cli
 from repro.traces import cli as traces_cli
 
 #: The paper-figure commands (what ``all`` iterates).
@@ -63,6 +68,7 @@ FIGURE_COMMANDS: Dict[str, Callable[[List[str]], object]] = {
 COMMANDS: Dict[str, Callable[[List[str]], object]] = {
     **FIGURE_COMMANDS,
     "scenarios": scenarios_cli.main,
+    "serve": serve_cli.main,
     "traces": traces_cli.main,
 }
 

@@ -236,9 +236,17 @@ def map_report(
     jobs: int = 1,
     star: bool = False,
     policy=None,
+    on_row=None,
 ):
-    """:func:`parallel_map` returning the runtime's full ``RunReport``."""
+    """:func:`parallel_map` returning the runtime's full ``RunReport``.
+
+    ``on_row(index, row)`` is forwarded to the runtime: it fires on the
+    coordinator as each row lands (including resumed rows), the hook
+    incremental persistence rides on.
+    """
     from repro.experiments import runtime
 
     jobs = min(resolve_jobs(jobs), max(1, len(items)))
-    return runtime.run_tasks(fn, items, jobs=jobs, star=star, policy=policy)
+    return runtime.run_tasks(
+        fn, items, jobs=jobs, star=star, policy=policy, on_row=on_row
+    )

@@ -55,6 +55,8 @@ import base64
 import hashlib
 import os
 import pickle
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -325,11 +327,30 @@ class Checkpoint:
         self.path.unlink(missing_ok=True)
 
 
-def default_checkpoint_path(name: str) -> str:
-    """``results/checkpoints/<name>.ckpt`` (the CLI convention)."""
-    from repro.experiments.report import results_path
+def checkpoint_dir() -> str:
+    """Where checkpoint journals live.
 
-    return results_path(os.path.join("checkpoints", f"{name}.ckpt"))
+    ``$REPRO_CHECKPOINT_DIR`` when set (mirroring ``$REPRO_TRACE_DIR``
+    for the trace cache -- the service points this at its data
+    directory so per-job journals never land in the CWD), otherwise
+    ``results/checkpoints/``.  Created on demand.
+    """
+    env = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if env:
+        directory = os.path.abspath(env)
+    else:
+        from repro.experiments.report import results_path
+
+        directory = os.path.dirname(results_path(
+            os.path.join("checkpoints", "_")
+        ))
+    os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def default_checkpoint_path(name: str) -> str:
+    """``<checkpoint_dir()>/<name>.ckpt`` (the CLI convention)."""
+    return os.path.join(checkpoint_dir(), f"{name}.ckpt")
 
 
 # ----------------------------------------------------------------------
@@ -348,12 +369,13 @@ def _run_task(fn: Callable, item: Any, star: bool, index: int, attempt: int,
 class _SweepState:
     """Mutable coordinator bookkeeping shared by the loop helpers."""
 
-    def __init__(self, fn, items, star, policy, jobs):
+    def __init__(self, fn, items, star, policy, jobs, on_row=None):
         self.fn = fn
         self.items = items
         self.star = star
         self.policy = policy
         self.jobs = jobs
+        self.on_row = on_row
         self.digests = [_item_digest(item) for item in items]
         self.fault_spec = policy.resolved_fault_spec()
         self.report = RunReport(rows=[None] * len(items))
@@ -371,6 +393,8 @@ class _SweepState:
         self.report.rows[index] = row
         if self.checkpoint is not None:
             self.checkpoint.record(index, row)
+        if self.on_row is not None:
+            self.on_row(index, row)
 
     def charge(self, index: int, error: BaseException, error_text: str,
                duration: float) -> None:
@@ -593,6 +617,34 @@ def _serial_loop(state: _SweepState) -> None:
                 break
 
 
+@contextmanager
+def _sigterm_as_interrupt():
+    """Treat SIGTERM like Ctrl-C for the duration of a sweep.
+
+    ``kill <pid>`` (and the service's drain path) must never strand a
+    half-written checkpoint journal: the handler raises
+    ``KeyboardInterrupt``, which the sweep's existing interrupt path
+    turns into a flushed journal plus a :class:`SweepInterrupted`
+    carrying the ``--resume`` hint.  Signal handlers can only be
+    installed from the main thread (the service runs sweeps from
+    supervisor worker threads and owns SIGTERM itself), so anywhere
+    else this is a no-op.  The previous handler is restored on exit.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.getsignal(signal.SIGTERM)
+    signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def run_tasks(
     fn: Callable,
     items: Sequence,
@@ -600,6 +652,7 @@ def run_tasks(
     jobs: int = 1,
     star: bool = False,
     policy: Optional[ExecutionPolicy] = None,
+    on_row: Optional[Callable[[int, Any], None]] = None,
 ) -> RunReport:
     """Run every item through ``fn`` under the fault-tolerance policy.
 
@@ -610,9 +663,17 @@ def run_tasks(
     ``point_timeout`` needs worker processes and is not enforced (an
     injected ``crash`` there exits the *calling* process -- which is
     exactly what the kill-mid-sweep tests use it for).
+
+    ``on_row(index, row)`` is invoked on the coordinator as each row
+    lands -- once per index, including rows restored by ``resume`` --
+    so callers (the simulation service's sqlite store, live progress
+    reporting) can persist results incrementally instead of waiting
+    for the report.
     """
     policy = policy if policy is not None else ExecutionPolicy()
-    state = _SweepState(fn, list(items), star, policy, max(1, int(jobs)))
+    state = _SweepState(
+        fn, list(items), star, policy, max(1, int(jobs)), on_row=on_row
+    )
 
     if policy.checkpoint is not None:
         state.checkpoint = Checkpoint(
@@ -625,6 +686,8 @@ def run_tasks(
             for index, row in state.checkpoint.load_resume().items():
                 state.report.rows[index] = row
                 state.report.resumed += 1
+                if on_row is not None:
+                    on_row(index, row)
         else:
             state.checkpoint.remove()  # a fresh run replaces stale journals
 
@@ -635,10 +698,11 @@ def run_tasks(
 
     try:
         if state.pending:
-            if state.jobs == 1 or len(state.pending) == 1:
-                _serial_loop(state)
-            else:
-                _parallel_loop(state)
+            with _sigterm_as_interrupt():
+                if state.jobs == 1 or len(state.pending) == 1:
+                    _serial_loop(state)
+                else:
+                    _parallel_loop(state)
     except KeyboardInterrupt:
         if state.checkpoint is not None:
             state.checkpoint.flush()

@@ -217,6 +217,7 @@ def run_catalog(
     n0_scale: float = 1.0,
     jobs: int = 1,
     policy=None,
+    on_row=None,
 ) -> Dict:
     """Run scenarios x defenses and collect the metrics report.
 
@@ -224,10 +225,18 @@ def run_catalog(
     enables retries, per-point timeouts, checkpoint/resume and fault
     injection.  Points that fail permanently are dropped from ``rows``
     and surface as structured ``failures`` entries instead.
+
+    This is the job-sized entry point the simulation service executes
+    (:mod:`repro.serve`): ``on_row(index, row)`` fires on the
+    coordinator as each point completes (or is restored by
+    ``policy.resume``), so rows can be persisted incrementally instead
+    of only in the returned report.
     """
     names = list(scenarios) if scenarios is not None else scenario_names()
     points = build_points(names, defenses, seed, t_rate, n0_scale)
-    report = map_report(run_scenario_point, points, jobs=jobs, policy=policy)
+    report = map_report(
+        run_scenario_point, points, jobs=jobs, policy=policy, on_row=on_row
+    )
     return {
         "seed": seed,
         "n0_scale": n0_scale,

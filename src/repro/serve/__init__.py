@@ -1,0 +1,47 @@
+"""``python -m repro serve`` -- the long-running simulation service.
+
+Everything below this package used to be a batch CLI writing one-shot
+JSON; :mod:`repro.serve` turns the library into a crash-surviving
+service in four stdlib-only layers (``http.server`` + ``threading`` +
+``sqlite3`` -- no new dependencies):
+
+* :mod:`~repro.serve.store`      -- the durable record: a WAL-mode
+  sqlite job store (job lifecycle rows + incrementally persisted
+  result rows) that replaces one-shot ``results/scenarios.json``;
+* :mod:`~repro.serve.jobs`       -- the job schema: request
+  validation into a frozen :class:`~repro.serve.jobs.JobSpec` and its
+  execution on the fault-tolerant sweep runtime
+  (:mod:`repro.experiments.runtime` -- retries, per-point timeouts,
+  fault injection, checkpoint/resume, all exposed per job);
+* :mod:`~repro.serve.supervisor` -- admission control (bounded queue,
+  saturation surfaces as HTTP 429), worker threads that survive
+  worker-process crashes and mark jobs ``failed`` with structured
+  failure rows instead of dying, a maintenance loop that requeues
+  stale ``running`` jobs, crash recovery on restart (interrupted jobs
+  resume from their checkpoint journals), and graceful drain;
+* :mod:`~repro.serve.api`        -- the HTTP surface: ``POST /jobs``,
+  ``GET /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/rows``,
+  ``GET /healthz``, ``GET /metrics``.
+
+:mod:`~repro.serve.cli` wires the layers together under
+``python -m repro serve`` and owns the signal story: SIGTERM/SIGINT
+stop admission, drain in-flight jobs, and exit 0 within
+``--drain-timeout`` (jobs still running at the deadline are requeued
+for resume-on-restart -- the checkpoint journal is their durable
+progress).  See EXPERIMENTS.md, "Simulation service".
+"""
+
+from repro.serve.jobs import JobSpec, JobValidationError, parse_job
+from repro.serve.store import JobRecord, JobStore
+from repro.serve.supervisor import QueueSaturated, ServiceDraining, Supervisor
+
+__all__ = [
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "JobValidationError",
+    "QueueSaturated",
+    "ServiceDraining",
+    "Supervisor",
+    "parse_job",
+]

@@ -1,0 +1,213 @@
+"""The service's HTTP surface (stdlib ``http.server``, JSON bodies).
+
+Endpoints::
+
+    POST /jobs            submit a job        -> 201 {id, state, ...}
+                          invalid payload     -> 400 {"error": ...}
+                          queue saturated     -> 429 + Retry-After
+                          draining            -> 503
+    GET  /jobs            recent jobs         -> 200 {"jobs": [...]}
+                          (?state=, ?limit=)
+    GET  /jobs/<id>       lifecycle record    -> 200 / 404
+    GET  /jobs/<id>/rows  result rows so far  -> 200 {"rows": [...]}
+                          (?start=N for incremental polling)
+    GET  /healthz         liveness + counts   -> 200
+    GET  /metrics         Prometheus text     -> 200
+
+The server is a ``ThreadingHTTPServer`` (one daemon thread per
+connection), so slow readers never block job submission; the sqlite
+store underneath runs in WAL mode precisely so these reader threads
+can stream a job's rows while a worker is still appending them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.jobs import JobValidationError
+from repro.serve.supervisor import QueueSaturated, ServiceDraining, Supervisor
+
+log = logging.getLogger("repro.serve")
+
+#: Largest request body we will read (a job spec is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+_JOB_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})$")
+_ROWS_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})/rows$")
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the supervisor + store."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def supervisor(self) -> Supervisor:
+        return self.server.supervisor  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:
+        log.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, status: int, doc: Any,
+              extra: Optional[Dict[str, str]] = None) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        self._send(status, body, "application/json", extra)
+
+    def _error(self, status: int, message: str,
+               extra: Optional[Dict[str, str]] = None) -> None:
+        self._json(status, {"error": message}, extra)
+
+    # -- dispatch ------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            self._get()
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 -- 500, never a dead thread
+            log.exception("GET %s failed", self.path)
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            self._post()
+        except BrokenPipeError:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            log.exception("POST %s failed", self.path)
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    # -- GET routes ----------------------------------------------------
+    def _get(self) -> None:
+        parsed = urlparse(self.path)
+        path, query = parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
+        if path == "/healthz":
+            self._json(200, self.supervisor.health())
+            return
+        if path == "/metrics":
+            self._send(
+                200, self.supervisor.metrics_text().encode("utf-8"),
+                "text/plain; version=0.0.4",
+            )
+            return
+        if path == "/jobs":
+            self._list_jobs(query)
+            return
+        match = _JOB_PATH.match(path)
+        if match:
+            self._get_job(match.group("id"))
+            return
+        match = _ROWS_PATH.match(path)
+        if match:
+            self._get_rows(match.group("id"), query)
+            return
+        self._error(404, f"no route for {path!r}")
+
+    def _list_jobs(self, query: Dict) -> None:
+        state = query.get("state", [None])[0]
+        limit = self._int_param(query, "limit", 100)
+        records = self.supervisor.store.list_jobs(state=state, limit=limit)
+        self._json(200, {"jobs": [record.as_dict() for record in records]})
+
+    def _get_job(self, job_id: str) -> None:
+        record = self.supervisor.store.get(job_id)
+        if record is None:
+            self._error(404, f"no job {job_id!r}")
+            return
+        count = self.supervisor.store.row_count(job_id)
+        self._json(200, record.as_dict(row_count=count))
+
+    def _get_rows(self, job_id: str, query: Dict) -> None:
+        store = self.supervisor.store
+        record = store.get(job_id)
+        if record is None:
+            self._error(404, f"no job {job_id!r}")
+            return
+        start = self._int_param(query, "start", 0)
+        rows = store.rows(job_id, start=start)
+        self._json(200, {
+            "job": job_id,
+            "state": record.state,
+            "start": start,
+            "count": len(rows),
+            "rows": [{"index": index, "row": row} for index, row in rows],
+        })
+
+    @staticmethod
+    def _int_param(query: Dict, key: str, default: int) -> int:
+        raw = query.get(key, [None])[0]
+        if raw is None:
+            return default
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            return default
+
+    # -- POST routes ---------------------------------------------------
+    def _post(self) -> None:
+        path = urlparse(self.path).path.rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"no route for {path!r}")
+            return
+        payload, problem = self._read_json()
+        if problem is not None:
+            self._error(400, problem)
+            return
+        try:
+            record = self.supervisor.submit(payload)
+        except JobValidationError as exc:
+            self._error(400, str(exc))
+        except QueueSaturated as exc:
+            self._error(
+                429, str(exc),
+                extra={"Retry-After": f"{max(1, round(exc.retry_after))}"},
+            )
+        except ServiceDraining as exc:
+            self._error(503, str(exc))
+        else:
+            self._json(201, record.as_dict(row_count=0))
+
+    def _read_json(self) -> Tuple[Any, Optional[str]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None, "bad Content-Length"
+        if length <= 0:
+            return None, "request body required (a JSON job spec)"
+        if length > MAX_BODY_BYTES:
+            return None, f"request body over {MAX_BODY_BYTES} bytes"
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8")), None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return None, f"request body is not valid JSON: {exc}"
+
+
+def make_server(supervisor: Supervisor, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Bind the HTTP server (``port=0`` -> ephemeral) around a supervisor.
+
+    The caller owns the lifecycle: ``serve_forever()`` in some thread,
+    ``shutdown()`` to stop accepting, and :meth:`Supervisor.drain` for
+    the jobs themselves.
+    """
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.daemon_threads = True
+    server.supervisor = supervisor  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,309 @@
+"""The service's durable record: a WAL-mode sqlite job store.
+
+One database file holds the whole service state: the ``jobs`` table is
+the lifecycle ledger (state machine ``queued -> running -> succeeded |
+failed``, with ``running -> queued`` requeues on crash/stale
+detection), and ``job_rows`` receives each job's result rows
+*incrementally* as the sweep runtime completes points -- so a SIGKILL
+at any instant loses nothing that was already computed, and a restart
+can serve every finished row while the interrupted job resumes from
+its checkpoint journal.
+
+Concurrency: the store is read by many HTTP handler threads while
+supervisor workers stream rows in, so every connection runs in WAL
+journal mode (readers never block the writer, the writer never blocks
+readers) with a ``busy_timeout`` for the rare writer-writer collision.
+Connections are per-thread (sqlite connections must not hop threads);
+each mutating call commits immediately, so every committed write is
+durable at the next ``fsync`` and visible to all readers.
+
+Timestamps are wall-clock ``time.time()`` floats -- the service is an
+operational surface, not a deterministic simulation, and stale-job
+detection wants real elapsed time.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Job lifecycle states (the only values the ``state`` column takes).
+JOB_STATES = ("queued", "running", "succeeded", "failed")
+
+#: States a job can no longer leave.
+TERMINAL_STATES = ("succeeded", "failed")
+
+#: Writer-writer collision budget; generous because worker threads
+#: commit row-at-a-time and the HTTP side only writes on submit.
+BUSY_TIMEOUT_MS = 10_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id           TEXT PRIMARY KEY,
+    spec         TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    heartbeat_at REAL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    resume       INTEGER NOT NULL DEFAULT 0,
+    checkpoint   TEXT,
+    error        TEXT,
+    summary      TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state
+    ON jobs (state, submitted_at);
+CREATE TABLE IF NOT EXISTS job_rows (
+    job_id TEXT NOT NULL,
+    idx    INTEGER NOT NULL,
+    row    TEXT NOT NULL,
+    PRIMARY KEY (job_id, idx)
+) WITHOUT ROWID;
+"""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One row of the ``jobs`` table, decoded."""
+
+    id: str
+    spec: Dict[str, Any]
+    state: str
+    submitted_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    heartbeat_at: Optional[float]
+    attempts: int
+    resume: bool
+    checkpoint: Optional[str]
+    error: Optional[str]
+    summary: Optional[Dict[str, Any]]
+
+    def as_dict(self, row_count: Optional[int] = None) -> Dict[str, Any]:
+        """The JSON shape ``GET /jobs/<id>`` serves."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "error": self.error,
+            "summary": self.summary,
+        }
+        if row_count is not None:
+            doc["row_count"] = row_count
+        return doc
+
+
+class JobStore:
+    """Thread-safe job + result persistence over one sqlite file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._local = threading.local()
+        with self._conn() as conn:
+            conn.executescript(_SCHEMA)
+
+    # -- connections ---------------------------------------------------
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=BUSY_TIMEOUT_MS / 1000.0)
+            conn.row_factory = sqlite3.Row
+            # WAL is the load-bearing choice: GET /jobs/<id>/rows must
+            # read while a worker streams rows in.  journal_mode
+            # persists in the file but is asserted per connection so a
+            # copied/pre-WAL database upgrades on open.
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close this thread's connection (others close with their thread)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # -- lifecycle -----------------------------------------------------
+    def submit(self, job_id: str, spec: Dict[str, Any],
+               checkpoint: Optional[str] = None) -> JobRecord:
+        """Admit a new job in state ``queued``."""
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT INTO jobs (id, spec, state, submitted_at, checkpoint)"
+                " VALUES (?, ?, 'queued', ?, ?)",
+                (job_id, json.dumps(spec, sort_keys=True), time.time(),
+                 checkpoint),
+            )
+        record = self.get(job_id)
+        assert record is not None
+        return record
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        row = self._conn().execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        return self._decode(row) if row is not None else None
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: int = 100) -> List[JobRecord]:
+        """Most-recently-submitted first, optionally filtered by state."""
+        if state is not None:
+            rows = self._conn().execute(
+                "SELECT * FROM jobs WHERE state = ?"
+                " ORDER BY submitted_at DESC LIMIT ?",
+                (state, limit),
+            ).fetchall()
+        else:
+            rows = self._conn().execute(
+                "SELECT * FROM jobs ORDER BY submitted_at DESC LIMIT ?",
+                (limit,),
+            ).fetchall()
+        return [self._decode(row) for row in rows]
+
+    def queued_ids(self) -> List[str]:
+        """Queued jobs in admission order (the dispatch order)."""
+        rows = self._conn().execute(
+            "SELECT id FROM jobs WHERE state = 'queued'"
+            " ORDER BY submitted_at, id"
+        ).fetchall()
+        return [row["id"] for row in rows]
+
+    def running_ids(self) -> List[str]:
+        rows = self._conn().execute(
+            "SELECT id FROM jobs WHERE state = 'running'"
+            " ORDER BY submitted_at, id"
+        ).fetchall()
+        return [row["id"] for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (zero-filled for all known states)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for row in self._conn().execute(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        ):
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def mark_running(self, job_id: str) -> int:
+        """``queued -> running``; returns the new attempt number."""
+        now = time.time()
+        with self._conn() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?,"
+                " heartbeat_at = ?, attempts = attempts + 1"
+                " WHERE id = ? AND state = 'queued'",
+                (now, now, job_id),
+            )
+            if cur.rowcount != 1:
+                raise ValueError(
+                    f"job {job_id!r} is not queued (claimed twice, or "
+                    f"finished/requeued underneath the worker)"
+                )
+        record = self.get(job_id)
+        assert record is not None
+        return record.attempts
+
+    def heartbeat(self, job_id: str) -> None:
+        with self._conn() as conn:
+            conn.execute(
+                "UPDATE jobs SET heartbeat_at = ? WHERE id = ?",
+                (time.time(), job_id),
+            )
+
+    def finish(self, job_id: str, state: str, error: Optional[str] = None,
+               summary: Optional[Dict[str, Any]] = None) -> None:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"finish() wants a terminal state, got {state!r}")
+        with self._conn() as conn:
+            conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ?,"
+                " summary = ?, resume = 0 WHERE id = ?",
+                (state, time.time(), error,
+                 json.dumps(summary, sort_keys=True) if summary else None,
+                 job_id),
+            )
+
+    def requeue(self, job_id: str, resume: bool = True) -> None:
+        """``running -> queued`` (crash recovery / stale reap / drain).
+
+        ``resume=True`` tells the next worker to restore the job's
+        checkpoint journal instead of recomputing finished points.
+        """
+        with self._conn() as conn:
+            conn.execute(
+                "UPDATE jobs SET state = 'queued', resume = ?,"
+                " heartbeat_at = NULL WHERE id = ? AND state = 'running'",
+                (1 if resume else 0, job_id),
+            )
+
+    def stale_running(self, older_than_s: float) -> List[JobRecord]:
+        """Running jobs whose heartbeat is older than the cutoff."""
+        cutoff = time.time() - older_than_s
+        rows = self._conn().execute(
+            "SELECT * FROM jobs WHERE state = 'running'"
+            " AND (heartbeat_at IS NULL OR heartbeat_at < ?)",
+            (cutoff,),
+        ).fetchall()
+        return [self._decode(row) for row in rows]
+
+    # -- result rows ---------------------------------------------------
+    def put_row(self, job_id: str, index: int, row: Dict[str, Any]) -> None:
+        """Persist one result row (idempotent: resume re-delivers rows)."""
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO job_rows (job_id, idx, row)"
+                " VALUES (?, ?, ?)",
+                (job_id, index, json.dumps(row, sort_keys=True)),
+            )
+
+    def rows(self, job_id: str, start: int = 0) -> List[Tuple[int, Dict]]:
+        """``(index, row)`` pairs in index order, from ``start`` on."""
+        fetched = self._conn().execute(
+            "SELECT idx, row FROM job_rows WHERE job_id = ? AND idx >= ?"
+            " ORDER BY idx",
+            (job_id, start),
+        ).fetchall()
+        return [(row["idx"], json.loads(row["row"])) for row in fetched]
+
+    def row_count(self, job_id: str) -> int:
+        row = self._conn().execute(
+            "SELECT COUNT(*) AS n FROM job_rows WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        return row["n"]
+
+    def total_rows(self) -> int:
+        row = self._conn().execute(
+            "SELECT COUNT(*) AS n FROM job_rows"
+        ).fetchone()
+        return row["n"]
+
+    # -- decoding ------------------------------------------------------
+    @staticmethod
+    def _decode(row: sqlite3.Row) -> JobRecord:
+        return JobRecord(
+            id=row["id"],
+            spec=json.loads(row["spec"]),
+            state=row["state"],
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            heartbeat_at=row["heartbeat_at"],
+            attempts=row["attempts"],
+            resume=bool(row["resume"]),
+            checkpoint=row["checkpoint"],
+            error=row["error"],
+            summary=json.loads(row["summary"]) if row["summary"] else None,
+        )

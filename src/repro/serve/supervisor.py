@@ -1,0 +1,373 @@
+"""Supervised job execution: admission, workers, maintenance, drain.
+
+The supervisor is the crash-surviving middle of the service:
+
+* **Admission control.**  The job queue is bounded (``max_queued``);
+  a submission against a full queue raises :class:`QueueSaturated`,
+  which the HTTP layer turns into ``429`` + ``Retry-After`` instead of
+  letting memory (or the sqlite file) grow without bound.  The queue's
+  source of truth is the store's ``queued`` count, so admission
+  pressure survives restarts too.
+
+* **Supervised workers.**  ``max_workers`` threads pull queued jobs
+  and run them on the fault-tolerant sweep runtime.  Worker-process
+  crashes (``BrokenProcessPool``), per-point timeouts, and injected
+  faults are absorbed by the runtime's retry machinery; a job whose
+  points exhaust their budget is marked ``failed`` with structured
+  failure rows in its summary.  A worker thread itself never dies with
+  a job: any escaping exception is recorded on the job and the thread
+  moves on.
+
+* **Maintenance loop.**  Every ``maintenance_interval`` seconds the
+  loop (a) re-enqueues store-``queued`` jobs that are missing from the
+  in-memory queue (the store is durable, the deque is not), and (b)
+  reaps ``running`` jobs whose heartbeat went stale and that no live
+  worker of this process owns -- requeueing them for resume, or
+  failing them once they exhaust ``job_attempts``.
+
+* **Crash recovery.**  On startup every ``running`` job in the store
+  is a casualty of a previous process (one service instance per store
+  is the deployment contract) and is requeued with ``resume=True``:
+  the job's checkpoint journal -- flushed by the runtime as each point
+  completed -- becomes the recovery primitive, so the rerun recomputes
+  only unfinished points and final rows are byte-identical to an
+  uninterrupted run.
+
+* **Graceful drain.**  :meth:`Supervisor.drain` stops admission,
+  wakes idle workers to exit, and waits for busy ones up to the
+  deadline; jobs still running at the deadline are requeued
+  (``resume=True``) so the *next* start finishes them, and the caller
+  can exit 0 having lost nothing.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import uuid
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set
+
+from repro.experiments.runtime import CheckpointMismatch
+from repro.serve.jobs import execute_job, parse_job, spec_from_dict
+from repro.serve.store import JobRecord, JobStore
+
+log = logging.getLogger("repro.serve")
+
+
+class QueueSaturated(RuntimeError):
+    """Admission rejected: the bounded job queue is full (HTTP 429)."""
+
+    def __init__(self, queued: int, limit: int, retry_after: float) -> None:
+        self.retry_after = retry_after
+        super().__init__(
+            f"job queue is saturated ({queued}/{limit} queued); "
+            f"retry in ~{retry_after:.0f}s"
+        )
+
+
+class ServiceDraining(RuntimeError):
+    """Admission rejected: the service is shutting down (HTTP 503)."""
+
+
+class Supervisor:
+    """Owns the worker threads, the maintenance loop, and admission."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        checkpoint_root: Path,
+        *,
+        max_workers: int = 2,
+        max_queued: int = 16,
+        heartbeat_timeout: float = 120.0,
+        maintenance_interval: float = 2.0,
+        job_attempts: int = 3,
+        retry_after: float = 2.0,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        self.store = store
+        self.checkpoint_root = Path(checkpoint_root)
+        self.max_workers = max_workers
+        self.max_queued = max_queued
+        self.heartbeat_timeout = heartbeat_timeout
+        self.maintenance_interval = maintenance_interval
+        self.job_attempts = job_attempts
+        self.retry_after = retry_after
+
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: deque = deque()
+        self._pending_ids: Set[str] = set()
+        #: job ids a worker thread of *this* process is executing
+        self._active: Set[str] = set()
+        self._draining = False
+        self._threads: List[threading.Thread] = []
+        self._maintenance_thread: Optional[threading.Thread] = None
+        self.started_at = time.time()
+        #: admissions rejected with 429 since start (metrics)
+        self.rejects = 0
+        #: jobs this process ran to a terminal state (metrics)
+        self.completed = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Recover interrupted work, then start workers + maintenance."""
+        self.recover()
+        for i in range(self.max_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._maintenance_thread = threading.Thread(
+            target=self._maintenance_loop, name="serve-maintenance",
+            daemon=True,
+        )
+        self._maintenance_thread.start()
+
+    def recover(self) -> None:
+        """Requeue every job a previous process left ``running``."""
+        for job_id in self.store.running_ids():
+            log.warning("recovering interrupted job %s (resume)", job_id)
+            self.store.requeue(job_id, resume=True)
+        for job_id in self.store.queued_ids():
+            self._enqueue(job_id)
+
+    def drain(self, timeout: float) -> bool:
+        """Stop admitting, finish what we can, requeue the rest.
+
+        Returns ``True`` when every in-flight job reached a terminal
+        state before the deadline; ``False`` means the remaining jobs
+        were requeued (``resume=True``) for the next start.  Either
+        way the store is consistent and the caller may exit 0.
+        """
+        deadline = time.monotonic() + timeout
+        with self._wake:
+            self._draining = True
+            self._wake.notify_all()
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        clean = not any(thread.is_alive() for thread in self._threads)
+        if not clean:
+            with self._lock:
+                abandoned = sorted(self._active)
+            for job_id in abandoned:
+                log.warning(
+                    "drain deadline: requeueing %s for resume", job_id
+                )
+                self.store.requeue(job_id, resume=True)
+        if self._maintenance_thread is not None:
+            self._maintenance_thread.join(0.5)
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- admission -----------------------------------------------------
+    def submit(self, payload: Any) -> JobRecord:
+        """Validate, admit (or reject), persist, and enqueue a job."""
+        if self._draining:
+            raise ServiceDraining("service is draining; not accepting jobs")
+        spec = parse_job(payload)  # JobValidationError -> 400
+        queued = self.store.counts()["queued"]
+        if queued >= self.max_queued:
+            with self._lock:
+                self.rejects += 1
+            raise QueueSaturated(queued, self.max_queued, self.retry_after)
+        job_id = uuid.uuid4().hex[:12]
+        record = self.store.submit(
+            job_id, spec.as_dict(), checkpoint=str(self._checkpoint(job_id))
+        )
+        self._enqueue(job_id)
+        return record
+
+    def _checkpoint(self, job_id: str) -> Path:
+        return self.checkpoint_root / f"job-{job_id}.ckpt"
+
+    def _enqueue(self, job_id: str) -> None:
+        with self._wake:
+            if job_id in self._pending_ids or job_id in self._active:
+                return
+            self._pending.append(job_id)
+            self._pending_ids.add(job_id)
+            self._wake.notify()
+
+    # -- workers -------------------------------------------------------
+    def _next_job(self) -> Optional[str]:
+        """Block for the next job id; ``None`` means "exit now"."""
+        with self._wake:
+            while True:
+                if self._draining:
+                    return None
+                if self._pending:
+                    job_id = self._pending.popleft()
+                    self._pending_ids.discard(job_id)
+                    self._active.add(job_id)
+                    return job_id
+                self._wake.wait(timeout=0.5)
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._next_job()
+            if job_id is None:
+                return
+            try:
+                self._run_job(job_id)
+            except BaseException:
+                # A worker thread must survive anything a job throws at
+                # it; the job itself was already marked failed (or will
+                # be reaped as stale by maintenance).
+                log.exception("job %s: worker error", job_id)
+            finally:
+                with self._lock:
+                    self._active.discard(job_id)
+                    self.completed += 1
+
+    def _run_job(self, job_id: str) -> None:
+        record = self.store.get(job_id)
+        if record is None or record.state != "queued":
+            return  # reaped or finished underneath us
+        try:
+            self.store.mark_running(job_id)
+        except ValueError:
+            return  # lost the claim race
+        spec = spec_from_dict(record.spec)
+        checkpoint = record.checkpoint or str(self._checkpoint(job_id))
+        resume = record.resume and Path(checkpoint).exists()
+
+        def on_row(index: int, row: Dict) -> None:
+            self.store.put_row(job_id, index, row)
+            self.store.heartbeat(job_id)
+
+        try:
+            try:
+                report = execute_job(
+                    spec, checkpoint=checkpoint, resume=resume, on_row=on_row
+                )
+            except CheckpointMismatch:
+                # The journal belongs to an older incarnation of the
+                # job (e.g. code change across restart): discard it and
+                # recompute from scratch rather than refuse forever.
+                log.warning("job %s: stale checkpoint discarded", job_id)
+                Path(checkpoint).unlink(missing_ok=True)
+                report = execute_job(
+                    spec, checkpoint=checkpoint, resume=False, on_row=on_row
+                )
+        except Exception as exc:  # noqa: BLE001 -- jobs fail, workers don't
+            log.exception("job %s: execution error", job_id)
+            self.store.finish(
+                job_id, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+            return
+        summary = {
+            "points": spec.points,
+            "rows": len(report["rows"]),
+            "failures": report["failures"],
+            "retries": report["retries"],
+            "pool_rebuilds": report["pool_rebuilds"],
+            "resumed": report["resumed"],
+        }
+        if report["failures"]:
+            self.store.finish(
+                job_id, "failed", summary=summary,
+                error=(f"{len(report['failures'])} point(s) failed after "
+                       f"retries"),
+            )
+        else:
+            self.store.finish(job_id, "succeeded", summary=summary)
+
+    # -- maintenance ---------------------------------------------------
+    def _maintenance_loop(self) -> None:
+        while not self._draining:
+            try:
+                self.maintain()
+            except Exception:  # noqa: BLE001 -- keep the loop alive
+                log.exception("maintenance pass failed")
+            time.sleep(self.maintenance_interval)
+
+    def maintain(self) -> Dict[str, int]:
+        """One maintenance pass; returns action counts (for tests)."""
+        actions = {"requeued": 0, "failed": 0, "enqueued": 0}
+        with self._lock:
+            active = set(self._active)
+        for record in self.store.stale_running(self.heartbeat_timeout):
+            if record.id in active:
+                continue  # owned by a live worker here; not stale
+            if record.attempts >= self.job_attempts:
+                log.error(
+                    "job %s: heartbeat lost after %d attempts; failing",
+                    record.id, record.attempts,
+                )
+                self.store.finish(
+                    record.id, "failed",
+                    error=(f"heartbeat lost (stale for > "
+                           f"{self.heartbeat_timeout:g}s) after "
+                           f"{record.attempts} attempt(s)"),
+                )
+                actions["failed"] += 1
+            else:
+                log.warning("job %s: heartbeat stale; requeueing", record.id)
+                self.store.requeue(record.id, resume=True)
+                actions["requeued"] += 1
+        with self._lock:
+            known = self._pending_ids | self._active
+        for job_id in self.store.queued_ids():
+            if job_id not in known:
+                self._enqueue(job_id)
+                actions["enqueued"] += 1
+        return actions
+
+    # -- observability -------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        counts = self.store.counts()
+        with self._lock:
+            active = len(self._active)
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "jobs": counts,
+            "queue_depth": counts["queued"],
+            "queue_capacity": self.max_queued,
+            "workers": self.max_workers,
+            "workers_busy": active,
+        }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition)."""
+        health = self.health()
+        with self._lock:
+            rejects, completed = self.rejects, self.completed
+        lines = [
+            "# TYPE repro_serve_uptime_seconds gauge",
+            f"repro_serve_uptime_seconds {health['uptime_s']}",
+            "# TYPE repro_serve_jobs gauge",
+        ]
+        for state, count in sorted(health["jobs"].items()):
+            lines.append(f'repro_serve_jobs{{state="{state}"}} {count}')
+        lines += [
+            "# TYPE repro_serve_queue_depth gauge",
+            f"repro_serve_queue_depth {health['queue_depth']}",
+            "# TYPE repro_serve_queue_capacity gauge",
+            f"repro_serve_queue_capacity {health['queue_capacity']}",
+            "# TYPE repro_serve_workers gauge",
+            f"repro_serve_workers {health['workers']}",
+            "# TYPE repro_serve_workers_busy gauge",
+            f"repro_serve_workers_busy {health['workers_busy']}",
+            "# TYPE repro_serve_result_rows_total counter",
+            f"repro_serve_result_rows_total {self.store.total_rows()}",
+            "# TYPE repro_serve_admission_rejects_total counter",
+            f"repro_serve_admission_rejects_total {rejects}",
+            "# TYPE repro_serve_jobs_completed_total counter",
+            f"repro_serve_jobs_completed_total {completed}",
+            "# TYPE repro_serve_draining gauge",
+            f"repro_serve_draining {1 if self._draining else 0}",
+        ]
+        return "\n".join(lines) + "\n"

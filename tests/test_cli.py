@@ -28,9 +28,11 @@ def test_all_experiments_registered():
         "ablations",
         "sensitivity",
     }
-    # ``all`` regenerates the figures only; the scenario catalog and the
-    # trace registry ride their own subcommand CLIs.
-    assert set(COMMANDS) == set(FIGURE_COMMANDS) | {"scenarios", "traces"}
+    # ``all`` regenerates the figures only; the scenario catalog, the
+    # trace registry, and the service ride their own subcommand CLIs.
+    assert set(COMMANDS) == set(FIGURE_COMMANDS) | {
+        "scenarios", "traces", "serve",
+    }
 
 
 def test_scenarios_subcommand_routed(capsys):

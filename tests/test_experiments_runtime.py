@@ -220,6 +220,142 @@ class TestInterrupt:
         assert "3/10" in capsys.readouterr().out
 
 
+class TestOnRow:
+    """The ``on_row`` streaming hook the service's sqlite store rides."""
+
+    def test_on_row_fires_once_per_completed_row(self):
+        seen = []
+        report = run_tasks(
+            _double, [3, 1, 2], on_row=lambda i, row: seen.append((i, row))
+        )
+        assert sorted(seen) == [(0, 6), (1, 2), (2, 4)]
+        assert report.rows == [6, 2, 4]
+
+    def test_on_row_skips_failed_points_in_collect_mode(self):
+        seen = []
+        run_tasks(
+            _double,
+            [0, 1, 2],
+            policy=_fast_policy(
+                max_retries=0, fault_spec="raise@1x*", on_failure="collect"
+            ),
+            on_row=lambda i, row: seen.append(i),
+        )
+        assert sorted(seen) == [0, 2]
+
+    def test_on_row_redelivers_journaled_rows_on_resume(self, tmp_path):
+        # A consumer that lost its sink (e.g. the service's sqlite store
+        # was fine but the process died) must see *every* row on resume,
+        # including the ones that came from the journal.
+        ckpt = tmp_path / "run.ckpt"
+        run_tasks(
+            _double,
+            [0, 1, 2, 3],
+            policy=_fast_policy(
+                max_retries=0, fault_spec="raise@2x*", on_failure="collect",
+                checkpoint=str(ckpt),
+            ),
+        )
+        seen = []
+        resumed = run_tasks(
+            _double,
+            [0, 1, 2, 3],
+            policy=_fast_policy(checkpoint=str(ckpt), resume=True),
+            on_row=lambda i, row: seen.append((i, row)),
+        )
+        assert resumed.resumed == 3
+        assert sorted(seen) == [(0, 0), (1, 2), (2, 4), (3, 6)]
+
+    def test_on_row_works_with_process_pool(self):
+        seen = []
+        run_tasks(
+            _double, list(range(4)), jobs=2,
+            on_row=lambda i, row: seen.append((i, row)),
+        )
+        assert sorted(seen) == [(0, 0), (1, 2), (2, 4), (3, 6)]
+
+
+class TestCheckpointDir:
+    """``$REPRO_CHECKPOINT_DIR`` relocates journals (like $REPRO_TRACE_DIR)."""
+
+    def test_env_var_overrides_journal_location(self, tmp_path, monkeypatch):
+        from repro.experiments.runtime import default_checkpoint_path
+
+        target = tmp_path / "relocated" / "ckpts"
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(target))
+        path = default_checkpoint_path("figure8")
+        assert path == str(target / "figure8.ckpt")
+        assert target.is_dir()  # created eagerly so the journal can land
+
+    def test_default_lands_under_results_checkpoints(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.experiments.report as report_mod
+        from repro.experiments.runtime import default_checkpoint_path
+
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        monkeypatch.setattr(report_mod, "RESULTS_DIR", str(tmp_path))
+        path = default_checkpoint_path("figure8")
+        assert path.endswith(os.path.join("checkpoints", "figure8.ckpt"))
+        assert path.startswith(str(tmp_path))
+
+
+class TestSigterm:
+    """SIGTERM must behave exactly like Ctrl-C: flush the journal,
+    print the ``--resume`` hint, exit 130 (satellite of the service PR:
+    this is what makes ``kill <sweep-pid>`` lossless)."""
+
+    DRIVER = """\
+import sys, time
+from repro.experiments.runtime import (
+    ExecutionPolicy, exit_on_interrupt, run_tasks,
+)
+
+CKPT = sys.argv[1]
+
+def work(x):
+    print(f"POINT {x}", flush=True)
+    if x > 0:
+        time.sleep(30)
+    return x * 2
+
+with exit_on_interrupt():
+    run_tasks(work, [0, 1, 2], policy=ExecutionPolicy(checkpoint=CKPT))
+print("COMPLETED", flush=True)
+"""
+
+    def test_sigterm_flushes_journal_and_exits_130(self, tmp_path):
+        import signal
+        import subprocess
+        import sys as _sys
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        script = tmp_path / "driver.py"
+        script.write_text(self.DRIVER)
+        ckpt = tmp_path / "sweep.ckpt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(repo, "src"), env.get("PYTHONPATH"))
+            if p
+        )
+        process = subprocess.Popen(
+            [_sys.executable, "-u", str(script), str(ckpt)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, cwd=repo,
+        )
+        # Point 0 completes instantly (journaled); point 1 announces
+        # itself then sleeps -- that is the mid-sweep moment to kill.
+        for line in process.stdout:
+            if "POINT 1" in line:
+                break
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=60)
+        assert process.returncode == 130, output
+        assert "--resume" in output
+        assert "COMPLETED" not in output
+        assert ckpt.exists()  # the flushed journal carries row 0
+
+
 class TestParallel:
     def test_worker_crash_rebuilds_pool_and_recovers(self):
         report = run_tasks(

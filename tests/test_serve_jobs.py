@@ -1,0 +1,122 @@
+"""Job schema validation and execution on the fault-tolerant runtime."""
+
+import json
+
+import pytest
+
+from repro.scenarios.run import SCENARIO_DEFENSES, run_catalog
+from repro.serve.jobs import (
+    JobSpec,
+    JobValidationError,
+    execute_job,
+    parse_job,
+    spec_from_dict,
+)
+
+
+class TestParseJob:
+    def test_minimal_payload_uses_defaults(self):
+        spec = parse_job({"scenarios": ["flash-crowd"]})
+        assert spec.scenarios == ("flash-crowd",)
+        assert spec.defenses == tuple(SCENARIO_DEFENSES)
+        assert spec.seed == 2021
+        assert spec.n0_scale == 1.0
+        assert spec.jobs == 1
+        assert spec.max_retries == 2
+        assert spec.t_rate is None
+        assert spec.fault_spec is None
+        assert spec.points == len(SCENARIO_DEFENSES)
+
+    def test_empty_payload_means_whole_catalog(self):
+        spec = parse_job({})
+        assert len(spec.scenarios) >= 8
+        assert spec.defenses == tuple(SCENARIO_DEFENSES)
+
+    def test_explicit_null_means_default(self):
+        spec = parse_job({
+            "scenarios": ["flash-crowd"], "seed": None, "n0_scale": None,
+            "jobs": None, "max_retries": None, "t_rate": None,
+            "point_timeout": None, "fault_spec": None,
+        })
+        assert spec == parse_job({"scenarios": ["flash-crowd"]})
+
+    def test_round_trip_through_store_json(self):
+        spec = parse_job({
+            "scenarios": ["flash-crowd"], "defenses": ["ERGO"],
+            "seed": 7, "t_rate": 100.0, "n0_scale": 0.1, "jobs": 2,
+            "max_retries": 1, "point_timeout": 30.0,
+            "fault_spec": "slow@*:0.01",
+        })
+        assert spec_from_dict(json.loads(json.dumps(spec.as_dict()))) == spec
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ("not a dict", "JSON object"),
+        ({"scenario": ["x"]}, "unknown job field"),
+        ({"scenarios": "flash-crowd"}, "list of names"),
+        ({"scenarios": ["no-such-scenario"]}, "unknown scenario"),
+        ({"defenses": ["NoSuchDefense"]}, "unknown defense"),
+        ({"seed": "soon"}, "'seed'"),
+        ({"seed": True}, "'seed'"),
+        ({"t_rate": -1}, "'t_rate'"),
+        ({"n0_scale": 0}, "'n0_scale'"),
+        ({"jobs": 0}, "'jobs'"),
+        ({"jobs": 10_000}, "'jobs'"),
+        ({"max_retries": -1}, "'max_retries'"),
+        ({"point_timeout": 0}, "'point_timeout'"),
+        ({"fault_spec": "explode@1"}, "unknown fault kind"),
+    ])
+    def test_rejected_payloads(self, payload, fragment):
+        with pytest.raises(JobValidationError) as info:
+            parse_job(payload)
+        assert fragment in str(info.value)
+
+
+class TestExecuteJob:
+    SPEC = JobSpec(
+        scenarios=("flash-crowd",), defenses=("Null", "ERGO"),
+        seed=7, n0_scale=0.05,
+    )
+
+    def test_rows_stream_through_on_row_and_match_report(self, tmp_path):
+        seen = {}
+        report = execute_job(
+            self.SPEC,
+            checkpoint=str(tmp_path / "job.ckpt"),
+            on_row=lambda index, row: seen.update({index: row}),
+        )
+        assert sorted(seen) == [0, 1]
+        assert [seen[i] for i in sorted(seen)] == report["rows"]
+        assert report["failures"] == []
+        # Full success removes the checkpoint journal (no data-dir litter).
+        assert not (tmp_path / "job.ckpt").exists()
+
+    def test_matches_direct_run_catalog(self):
+        report = execute_job(self.SPEC)
+        direct = run_catalog(
+            scenarios=["flash-crowd"], defenses=["Null", "ERGO"],
+            seed=7, n0_scale=0.05,
+        )
+        assert json.dumps(report["rows"], sort_keys=True) == (
+            json.dumps(direct["rows"], sort_keys=True)
+        )
+
+    def test_injected_permanent_failure_collects_not_raises(self, tmp_path):
+        spec = JobSpec(
+            scenarios=("flash-crowd",), defenses=("Null", "ERGO"),
+            seed=7, n0_scale=0.05, max_retries=0, fault_spec="raise@1x*",
+        )
+        report = execute_job(spec, checkpoint=str(tmp_path / "job.ckpt"))
+        (failure,) = report["failures"]
+        assert failure["index"] == 1
+        assert len(report["rows"]) == 1
+        # Failures keep the journal (with the good row) for a resume.
+        assert (tmp_path / "job.ckpt").exists()
+
+    def test_all_points_failing_yields_empty_rows(self, tmp_path):
+        spec = JobSpec(
+            scenarios=("flash-crowd",), defenses=("Null", "ERGO"),
+            seed=7, n0_scale=0.05, max_retries=0, fault_spec="raise@*x*",
+        )
+        report = execute_job(spec, checkpoint=str(tmp_path / "job.ckpt"))
+        assert len(report["failures"]) == 2
+        assert report["rows"] == []

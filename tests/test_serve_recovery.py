@@ -1,0 +1,159 @@
+"""Satellite acceptance: SIGKILL the service mid-sweep, restart, and
+the job completes with rows byte-identical to an uninterrupted run.
+
+This is the ISSUE's kill-recovery drill, run for real: a subprocess
+service executes a deliberately slowed job (``slow@*`` fault) so the
+test can observe rows streaming into the sqlite store, ``kill -9`` it
+with points still outstanding, then boots a second service against
+the same ``--data-dir``.  Recovery must requeue the interrupted job
+with ``resume=True``, replay the checkpoint journal, compute only the
+missing points, and finish with exactly the rows a never-killed run
+produces.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.scenarios.run import run_catalog
+
+BANNER = re.compile(r"listening on (http://\S+)")
+
+SPEC = {
+    "scenarios": ["flash-crowd"],
+    "defenses": ["Null", "ERGO", "CCOM", "SybilControl", "REMP"],
+    "seed": 7,
+    "n0_scale": 0.05,
+    # ~0.8s per point: wide enough to SIGKILL between rows, cheap
+    # enough to keep the whole drill around ten seconds.
+    "fault_spec": "slow@*:0.8",
+}
+POINTS = 5
+
+
+def start_service(data_dir):
+    """Boot ``python -m repro serve`` on an ephemeral port; return
+    (process, base_url, output_lines)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--port", "0", "--data-dir", str(data_dir),
+         "--max-workers", "1", "--maintenance-interval", "0.5",
+         "--drain-timeout", "15"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+    )
+    lines = []
+    found = threading.Event()
+    base = {}
+
+    def pump():
+        for line in process.stdout:
+            lines.append(line)
+            match = BANNER.search(line)
+            if match:
+                base["url"] = match.group(1)
+                found.set()
+        found.set()  # EOF: unblock the waiter either way
+
+    threading.Thread(target=pump, daemon=True).start()
+    if not found.wait(timeout=60.0) or "url" not in base:
+        process.kill()
+        raise AssertionError(
+            "service never printed its banner:\n" + "".join(lines)
+        )
+    return process, base["url"], lines
+
+
+def get_json(url, timeout=10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def post_json(url, payload, timeout=10.0):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def poll(fn, timeout, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = fn()
+        if value is not None:
+            return value
+        time.sleep(interval)
+    return None
+
+
+def test_sigkill_mid_sweep_then_restart_completes_byte_identical(tmp_path):
+    data_dir = tmp_path / "serve-data"
+
+    # -- phase 1: boot, submit, wait for the first row, kill -9 --------
+    process, base, lines = start_service(data_dir)
+    try:
+        created = post_json(f"{base}/jobs", SPEC)
+        job_id = created["id"]
+
+        def first_row():
+            doc = get_json(f"{base}/jobs/{job_id}")
+            return doc if doc["row_count"] >= 1 else None
+
+        partial = poll(first_row, timeout=120.0)
+        assert partial is not None, (
+            "no row ever landed:\n" + "".join(lines)
+        )
+        rows_at_kill = partial["row_count"]
+    finally:
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30.0)
+    # The slow fault gives ~0.8s per point; polling at 50ms means the
+    # kill lands with points still outstanding.
+    assert rows_at_kill < POINTS, (
+        f"job already finished ({rows_at_kill}/{POINTS} rows) before the "
+        f"kill -- the drill never interrupted anything"
+    )
+
+    # -- phase 2: restart on the same store; recovery must finish it --
+    process, base, lines = start_service(data_dir)
+    try:
+        def terminal():
+            doc = get_json(f"{base}/jobs/{job_id}")
+            return doc if doc["state"] in ("succeeded", "failed") else None
+
+        final = poll(terminal, timeout=120.0)
+        assert final is not None, (
+            "recovered job never finished:\n" + "".join(lines)
+        )
+        assert final["state"] == "succeeded", final
+        assert final["row_count"] == POINTS
+        # The journal replay must have spared the pre-kill rows.
+        assert final["summary"]["resumed"] >= rows_at_kill
+        served = get_json(f"{base}/jobs/{job_id}/rows")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60.0) == 0, "".join(lines)
+
+    # -- phase 3: byte-identical to an uninterrupted run ---------------
+    # The slow fault only sleeps, so the reference is the plain sweep.
+    reference = run_catalog(
+        scenarios=SPEC["scenarios"], defenses=SPEC["defenses"],
+        seed=SPEC["seed"], n0_scale=SPEC["n0_scale"],
+    )
+    recovered_rows = [entry["row"] for entry in served["rows"]]
+    assert json.dumps(recovered_rows, sort_keys=True) == (
+        json.dumps(reference["rows"], sort_keys=True)
+    )

@@ -1,0 +1,252 @@
+"""Supervisor semantics: admission, lifecycle, maintenance, recovery.
+
+These tests drive the supervisor directly (no HTTP) so each behavior
+is isolated: saturation raises :class:`QueueSaturated`, stale running
+jobs are requeued or failed by :meth:`Supervisor.maintain`, restart
+recovery requeues interrupted jobs with ``resume=True``, and drain
+stops admission while letting in-flight work finish.
+"""
+
+import time
+
+import pytest
+
+from repro.serve.jobs import parse_job
+from repro.serve.store import JobStore
+from repro.serve.supervisor import QueueSaturated, ServiceDraining, Supervisor
+
+#: A job small enough to finish in well under a second.
+TINY_JOB = {
+    "scenarios": ["flash-crowd"], "defenses": ["Null"],
+    "seed": 7, "n0_scale": 0.05,
+}
+
+
+def make_supervisor(tmp_path, **overrides) -> Supervisor:
+    store = JobStore(tmp_path / "jobs.sqlite3")
+    overrides.setdefault("max_workers", 1)
+    overrides.setdefault("maintenance_interval", 0.2)
+    return Supervisor(store, tmp_path / "checkpoints", **overrides)
+
+
+def wait_for(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestLifecycle:
+    def test_submitted_job_runs_to_succeeded(self, tmp_path):
+        supervisor = make_supervisor(tmp_path)
+        supervisor.start()
+        try:
+            record = supervisor.submit(TINY_JOB)
+            assert record.state == "queued"
+            assert wait_for(
+                lambda: supervisor.store.get(record.id).state == "succeeded"
+            )
+            final = supervisor.store.get(record.id)
+            assert final.summary["rows"] == 1
+            assert final.summary["failures"] == []
+            assert supervisor.store.row_count(record.id) == 1
+            (_, row), = supervisor.store.rows(record.id)
+            assert row["defense"] == "Null"
+            assert row["scenario"] == "flash-crowd"
+        finally:
+            supervisor.drain(10.0)
+
+    def test_permanently_failing_job_marked_failed_with_failure_rows(
+        self, tmp_path
+    ):
+        supervisor = make_supervisor(tmp_path)
+        supervisor.start()
+        try:
+            record = supervisor.submit({
+                **TINY_JOB, "max_retries": 0, "fault_spec": "raise@*x*",
+            })
+            assert wait_for(
+                lambda: supervisor.store.get(record.id).state == "failed"
+            )
+            final = supervisor.store.get(record.id)
+            assert "failed after retries" in final.error
+            (failure,) = final.summary["failures"]
+            assert "FaultInjected" in failure["error"]
+            assert failure["attempts"] == 1
+        finally:
+            supervisor.drain(10.0)
+
+    def test_worker_thread_survives_failed_job(self, tmp_path):
+        # A failing job must not kill the (only) worker: the next job
+        # still runs.
+        supervisor = make_supervisor(tmp_path)
+        supervisor.start()
+        try:
+            bad = supervisor.submit({
+                **TINY_JOB, "max_retries": 0, "fault_spec": "raise@*x*",
+            })
+            good = supervisor.submit(TINY_JOB)
+            assert wait_for(
+                lambda: supervisor.store.get(good.id).state == "succeeded"
+            )
+            assert supervisor.store.get(bad.id).state == "failed"
+        finally:
+            supervisor.drain(10.0)
+
+
+class TestAdmission:
+    def test_saturated_queue_raises_429_material(self, tmp_path):
+        # Workers never started: everything stays queued.
+        supervisor = make_supervisor(tmp_path, max_queued=2)
+        supervisor.submit(TINY_JOB)
+        supervisor.submit(TINY_JOB)
+        with pytest.raises(QueueSaturated) as info:
+            supervisor.submit(TINY_JOB)
+        assert info.value.retry_after > 0
+        assert supervisor.rejects == 1
+        assert supervisor.store.counts()["queued"] == 2
+
+    def test_draining_rejects_submissions(self, tmp_path):
+        supervisor = make_supervisor(tmp_path)
+        supervisor.start()
+        supervisor.drain(5.0)
+        with pytest.raises(ServiceDraining):
+            supervisor.submit(TINY_JOB)
+
+    def test_invalid_payload_never_reaches_the_store(self, tmp_path):
+        from repro.serve.jobs import JobValidationError
+
+        supervisor = make_supervisor(tmp_path)
+        with pytest.raises(JobValidationError):
+            supervisor.submit({"scenarios": ["no-such"]})
+        assert supervisor.store.counts()["queued"] == 0
+
+
+class TestMaintenance:
+    def test_stale_running_job_requeued_for_resume(self, tmp_path):
+        supervisor = make_supervisor(tmp_path, heartbeat_timeout=0.0)
+        # Fabricate a job a dead process left 'running' (not in
+        # _active, heartbeat stale).
+        store = supervisor.store
+        store.submit("dead01", parse_job(TINY_JOB).as_dict())
+        store.mark_running("dead01")
+        actions = supervisor.maintain()
+        assert actions["requeued"] == 1
+        record = store.get("dead01")
+        assert record.state == "queued"
+        assert record.resume is True
+        # ... and it was re-enqueued for dispatch.
+        assert actions["enqueued"] >= 0
+        assert "dead01" in supervisor._pending_ids
+
+    def test_stale_job_out_of_attempts_fails(self, tmp_path):
+        supervisor = make_supervisor(
+            tmp_path, heartbeat_timeout=0.0, job_attempts=1
+        )
+        store = supervisor.store
+        store.submit("dead01", parse_job(TINY_JOB).as_dict())
+        store.mark_running("dead01")  # attempts -> 1 == job_attempts
+        actions = supervisor.maintain()
+        assert actions["failed"] == 1
+        record = store.get("dead01")
+        assert record.state == "failed"
+        assert "heartbeat lost" in record.error
+
+    def test_actively_owned_job_is_not_stale(self, tmp_path):
+        supervisor = make_supervisor(tmp_path, heartbeat_timeout=0.0)
+        store = supervisor.store
+        store.submit("live01", parse_job(TINY_JOB).as_dict())
+        store.mark_running("live01")
+        with supervisor._lock:
+            supervisor._active.add("live01")
+        actions = supervisor.maintain()
+        assert actions == {"requeued": 0, "failed": 0, "enqueued": 0}
+        assert store.get("live01").state == "running"
+
+
+class TestRecovery:
+    def test_startup_requeues_interrupted_jobs(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        store.submit("crashed", parse_job(TINY_JOB).as_dict())
+        store.mark_running("crashed")  # the previous process died here
+        store.submit("waiting", parse_job(TINY_JOB).as_dict())
+        store.close()
+
+        supervisor = make_supervisor(tmp_path)
+        supervisor.recover()
+        crashed = supervisor.store.get("crashed")
+        assert crashed.state == "queued"
+        assert crashed.resume is True
+        assert supervisor._pending_ids == {"crashed", "waiting"}
+
+    def test_recovered_jobs_complete_after_restart(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        store.submit("crashed", parse_job(TINY_JOB).as_dict())
+        store.mark_running("crashed")
+        store.close()
+
+        supervisor = make_supervisor(tmp_path)
+        supervisor.start()
+        try:
+            assert wait_for(
+                lambda: supervisor.store.get("crashed").state == "succeeded"
+            )
+            assert supervisor.store.get("crashed").attempts == 2
+        finally:
+            supervisor.drain(10.0)
+
+
+class TestDrain:
+    def test_drain_without_work_is_clean_and_fast(self, tmp_path):
+        supervisor = make_supervisor(tmp_path, max_workers=2)
+        supervisor.start()
+        started = time.monotonic()
+        assert supervisor.drain(10.0) is True
+        assert time.monotonic() - started < 5.0
+        assert supervisor.draining
+
+    def test_drain_lets_in_flight_job_finish(self, tmp_path):
+        supervisor = make_supervisor(tmp_path)
+        supervisor.start()
+        record = supervisor.submit(
+            {**TINY_JOB, "fault_spec": "slow@*:0.3"}
+        )
+        assert wait_for(
+            lambda: supervisor.store.get(record.id).state == "running",
+            timeout=30.0,
+        )
+        assert supervisor.drain(30.0) is True
+        assert supervisor.store.get(record.id).state == "succeeded"
+
+    def test_drain_deadline_requeues_running_job(self, tmp_path):
+        supervisor = make_supervisor(tmp_path)
+        supervisor.start()
+        # A job that sleeps well past the drain deadline.
+        record = supervisor.submit(
+            {**TINY_JOB, "fault_spec": "slow@*:8"}
+        )
+        assert wait_for(
+            lambda: supervisor.store.get(record.id).state == "running",
+            timeout=30.0,
+        )
+        assert supervisor.drain(0.2) is False
+        requeued = supervisor.store.get(record.id)
+        assert requeued.state == "queued"
+        assert requeued.resume is True
+
+
+class TestObservability:
+    def test_health_and_metrics_shape(self, tmp_path):
+        supervisor = make_supervisor(tmp_path, max_queued=5)
+        supervisor.submit(TINY_JOB)
+        health = supervisor.health()
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 1
+        assert health["queue_capacity"] == 5
+        text = supervisor.metrics_text()
+        assert 'repro_serve_jobs{state="queued"} 1' in text
+        assert "repro_serve_queue_capacity 5" in text
+        assert "repro_serve_draining 0" in text
+        assert text.endswith("\n")
