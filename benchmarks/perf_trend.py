@@ -59,6 +59,10 @@ MICRO_LIMITS = {
         "sweep_checkpoint_overhead_pct",
         5.0,
     ),
+    "snapshot emission overhead (% of engine wall)": (
+        "snapshot_overhead_pct",
+        3.0,
+    ),
 }
 
 #: per-defense metrics from the scale snapshot's ``runs`` rows (the

@@ -9,9 +9,12 @@ then walks the whole lifecycle the ISSUE acceptance demands:
    ``crash@0`` fault (the first point's first attempt hard-kills its
    worker process -- the supervisor must absorb the
    ``BrokenProcessPool``, rebuild, and retry);
-3. the job is polled to ``succeeded`` and its rows are served back;
-4. ``GET /metrics`` exposes the Prometheus counters;
-5. SIGTERM drains the service, which must exit 0 within the drain
+3. ``GET /jobs/<id>/live`` is attached mid-job and must stream at
+   least one ``event: snapshot`` SSE frame (gap-free seqs, terminal
+   frame matching the persisted row) before the ``event: done``;
+4. the job is polled to ``succeeded`` and its rows are served back;
+5. ``GET /metrics`` exposes the Prometheus counters;
+6. SIGTERM drains the service, which must exit 0 within the drain
    timeout.
 
 Stdlib only; exits non-zero (with the service log) on any violation.
@@ -41,6 +44,7 @@ JOB = {
     "jobs": 2,               # crash faults need worker *processes*
     "max_retries": 2,
     "fault_spec": "crash@0",  # first point's first attempt dies hard
+    "snapshot_interval": 1.0,  # live telemetry for the /live drill
 }
 
 
@@ -62,6 +66,27 @@ def request(method: str, url: str, payload=None, timeout: float = 15.0):
             return resp.status, resp.read().decode("utf-8")
     except urllib.error.HTTPError as exc:
         return exc.code, exc.read().decode("utf-8")
+
+
+def read_live(url: str, job_id: str, frames: list) -> None:
+    """Collect SSE frames from /jobs/<id>/live until the done event."""
+    try:
+        resp = urllib.request.urlopen(
+            f"{url}/jobs/{job_id}/live", timeout=POLL_TIMEOUT_S
+        )
+        buf = b""
+        while True:
+            chunk = resp.read(1)
+            if not chunk:
+                return
+            buf += chunk
+            if buf.endswith(b"\n\n"):
+                frames.append(buf.decode("utf-8"))
+                if buf.startswith(b"event: done"):
+                    return
+                buf = b""
+    except Exception as exc:  # noqa: BLE001 -- report via frames check
+        frames.append(f"READER-ERROR: {exc}")
 
 
 def main() -> None:
@@ -102,6 +127,12 @@ def main() -> None:
         job_id = json.loads(body)["id"]
         print(f"serve-smoke: submitted job {job_id} (crash@0 injected)")
 
+        frames: list = []
+        live_reader = threading.Thread(
+            target=read_live, args=(url, job_id, frames), daemon=True
+        )
+        live_reader.start()
+
         deadline = time.time() + POLL_TIMEOUT_S
         record = {}
         while time.time() < deadline:
@@ -124,6 +155,35 @@ def main() -> None:
         rows = json.loads(body)
         if status != 200 or rows["count"] != len(JOB["defenses"]):
             fail(f"rows: {status} {body}", "".join(lines))
+
+        live_reader.join(timeout=30.0)
+        errors = [f for f in frames if f.startswith("READER-ERROR")]
+        if errors:
+            fail(f"live reader: {errors[0]}", "".join(lines))
+        snaps = [f for f in frames if "event: snapshot" in f]
+        dones = [f for f in frames if f.startswith("event: done")]
+        if not snaps:
+            fail(f"/live streamed no snapshot frames ({len(frames)} frames)",
+                 "".join(lines))
+        if not dones:
+            fail("/live never sent the terminal done frame", "".join(lines))
+        seqs = [int(f.split("id: ")[1].split("\n")[0]) for f in snaps]
+        if seqs != list(range(seqs[0], seqs[0] + len(seqs))):
+            fail(f"/live seqs are not gap-free monotone: {seqs}",
+                 "".join(lines))
+        last = [
+            json.loads(f.split("data: ")[1].strip())
+            for f in snaps
+            if json.loads(f.split("data: ")[1].strip()).get("last")
+        ]
+        row_by_idx = {r["index"]: r["row"] for r in rows["rows"]}
+        for snap in last:
+            row = row_by_idx[snap["point"]]
+            if abs(snap["good_spend"] - row["good_spend"]) > 1e-9:
+                fail(f"terminal snapshot disagrees with row: {snap}",
+                     "".join(lines))
+        print(f"serve-smoke: /live streamed {len(snaps)} snapshot(s), "
+              f"{len(last)} terminal, all matching persisted rows")
 
         status, body = request("GET", f"{url}/metrics")
         if status != 200 or "repro_serve_jobs" not in body:

@@ -237,16 +237,21 @@ def map_report(
     star: bool = False,
     policy=None,
     on_row=None,
+    on_snapshot=None,
 ):
     """:func:`parallel_map` returning the runtime's full ``RunReport``.
 
     ``on_row(index, row)`` is forwarded to the runtime: it fires on the
     coordinator as each row lands (including resumed rows), the hook
-    incremental persistence rides on.
+    incremental persistence rides on.  ``on_snapshot(index, snapshot)``
+    enables intra-point telemetry (``fn`` must then accept an
+    ``emit_snapshot`` keyword); see
+    :func:`repro.experiments.runtime.run_tasks`.
     """
     from repro.experiments import runtime
 
     jobs = min(resolve_jobs(jobs), max(1, len(items)))
     return runtime.run_tasks(
-        fn, items, jobs=jobs, star=star, policy=policy, on_row=on_row
+        fn, items, jobs=jobs, star=star, policy=policy, on_row=on_row,
+        on_snapshot=on_snapshot,
     )

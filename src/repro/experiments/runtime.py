@@ -356,11 +356,49 @@ def default_checkpoint_path(name: str) -> str:
 # ----------------------------------------------------------------------
 # worker entry
 # ----------------------------------------------------------------------
+@dataclass
+class SnapshotBundle:
+    """A worker-side result carrying its point's telemetry snapshots.
+
+    Process-pool workers cannot call the coordinator's ``on_snapshot``
+    directly, so they collect snapshots and ship them over the existing
+    result channel alongside the row; :meth:`_SweepState.harvest`
+    unwraps the bundle, delivering the snapshots *before* the row (a
+    row's arrival means the point is done) and journaling only the bare
+    row -- checkpoints stay byte-identical to snapshot-free runs.
+    """
+
+    row: Any
+    snapshots: List[Any] = field(default_factory=list)
+
+
 def _run_task(fn: Callable, item: Any, star: bool, index: int, attempt: int,
-              fault_spec: Optional[str], digest: str):
-    """Execute one point in a worker (module-level, so it pickles)."""
+              fault_spec: Optional[str], digest: str,
+              snapshots=None):
+    """Execute one point in a worker (module-level, so it pickles).
+
+    ``snapshots`` selects the telemetry mode: ``None`` calls ``fn``
+    exactly as before; ``"collect"`` (the process-pool mode) passes a
+    list-appending ``emit_snapshot`` kwarg and wraps the result in a
+    :class:`SnapshotBundle`; a callable (the in-process serial mode) is
+    passed through as ``emit_snapshot`` so snapshots reach the
+    coordinator live, while the point is still running.
+    """
     faults.inject(fault_spec, index, digest, attempt)
-    return fn(*item) if star else fn(item)
+    if snapshots is None:
+        return fn(*item) if star else fn(item)
+    if snapshots == "collect":
+        bag: List[Any] = []
+        row = (
+            fn(*item, emit_snapshot=bag.append) if star
+            else fn(item, emit_snapshot=bag.append)
+        )
+        return SnapshotBundle(row=row, snapshots=bag)
+    row = (
+        fn(*item, emit_snapshot=snapshots) if star
+        else fn(item, emit_snapshot=snapshots)
+    )
+    return row
 
 
 # ----------------------------------------------------------------------
@@ -369,13 +407,15 @@ def _run_task(fn: Callable, item: Any, star: bool, index: int, attempt: int,
 class _SweepState:
     """Mutable coordinator bookkeeping shared by the loop helpers."""
 
-    def __init__(self, fn, items, star, policy, jobs, on_row=None):
+    def __init__(self, fn, items, star, policy, jobs, on_row=None,
+                 on_snapshot=None):
         self.fn = fn
         self.items = items
         self.star = star
         self.policy = policy
         self.jobs = jobs
         self.on_row = on_row
+        self.on_snapshot = on_snapshot
         self.digests = [_item_digest(item) for item in items]
         self.fault_spec = policy.resolved_fault_spec()
         self.report = RunReport(rows=[None] * len(items))
@@ -390,6 +430,11 @@ class _SweepState:
         return self.attempts.get(index, 0)
 
     def harvest(self, index: int, row: Any) -> None:
+        if isinstance(row, SnapshotBundle):
+            if self.on_snapshot is not None:
+                for snap in row.snapshots:
+                    self.on_snapshot(index, snap)
+            row = row.row
         self.report.rows[index] = row
         if self.checkpoint is not None:
             self.checkpoint.record(index, row)
@@ -494,6 +539,7 @@ def _parallel_loop(state: _SweepState) -> None:
                         _run_task, state.fn, state.items[index], state.star,
                         index, state.tries(index) + 1, state.fault_spec,
                         state.digests[index],
+                        "collect" if state.on_snapshot is not None else None,
                     )
                 except BrokenProcessPool as exc:
                     # The pool died between harvests; rebuild and let
@@ -586,15 +632,23 @@ def _parallel_loop(state: _SweepState) -> None:
 
 def _serial_loop(state: _SweepState) -> None:
     policy = state.policy
+    on_snapshot = state.on_snapshot
     for index in list(state.pending):
         state.pending.remove(index)
+        if on_snapshot is None:
+            emit = None
+        else:
+            # In-process: snapshots reach the coordinator live, while
+            # the point is still running (this is what feeds the
+            # service's per-job stream and the CLI progress line).
+            emit = lambda snap, _i=index: on_snapshot(_i, snap)  # noqa: E731
         while True:
             attempt = state.tries(index) + 1
             started = time.perf_counter()
             try:
                 row = _run_task(
                     state.fn, state.items[index], state.star, index, attempt,
-                    state.fault_spec, state.digests[index],
+                    state.fault_spec, state.digests[index], emit,
                 )
             except KeyboardInterrupt:
                 raise
@@ -653,6 +707,7 @@ def run_tasks(
     star: bool = False,
     policy: Optional[ExecutionPolicy] = None,
     on_row: Optional[Callable[[int, Any], None]] = None,
+    on_snapshot: Optional[Callable[[int, Any], None]] = None,
 ) -> RunReport:
     """Run every item through ``fn`` under the fault-tolerance policy.
 
@@ -669,10 +724,21 @@ def run_tasks(
     so callers (the simulation service's sqlite store, live progress
     reporting) can persist results incrementally instead of waiting
     for the report.
+
+    ``on_snapshot(index, snapshot)`` enables intra-point telemetry.
+    When set, ``fn`` must accept an ``emit_snapshot`` keyword (a
+    callable it hands to the engine's snapshot hook).  On the serial
+    path snapshots are delivered *live*, while the point is running;
+    on the process-pool path workers collect them and ship them with
+    the row over the result channel, so they arrive -- in emission
+    order, before ``on_row`` for that index -- when the point
+    completes.  Rows restored by ``resume`` re-deliver no snapshots,
+    and journaled rows are byte-identical to a snapshot-free run.
     """
     policy = policy if policy is not None else ExecutionPolicy()
     state = _SweepState(
-        fn, list(items), star, policy, max(1, int(jobs)), on_row=on_row
+        fn, list(items), star, policy, max(1, int(jobs)), on_row=on_row,
+        on_snapshot=on_snapshot,
     )
 
     if policy.checkpoint is not None:

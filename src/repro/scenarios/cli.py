@@ -15,6 +15,12 @@ Options:
     --quick          preset: --n0-scale 0.25 (the CI smoke scale)
     --jobs N         worker processes (default: all cores)
     --json PATH      also write the metrics report to PATH
+    --progress       stream live per-point progress lines to stderr
+                     (engine snapshots; see EXPERIMENTS.md,
+                     "Observability")
+    --snapshot-interval S
+                     simulated seconds between progress snapshots
+                     (default 1.0; implies nothing without --progress)
 
 Resilience options (see EXPERIMENTS.md, "Resilient execution"):
     --resume             skip points journaled by a previous (killed or
@@ -35,7 +41,8 @@ table.  Points that fail permanently are listed in the report's
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.plotting import format_table
 from repro.cliutil import pop_multi as _pop_multi, pop_option as _pop_option
@@ -53,6 +60,49 @@ from repro.scenarios.run import (
 
 #: ``--quick`` population scale (the smoke-test miniature).
 QUICK_N0_SCALE = 0.25
+
+#: Default simulated seconds between ``--progress`` snapshots.
+DEFAULT_SNAPSHOT_INTERVAL = 1.0
+
+#: Minimum wall seconds between ``--progress`` lines (terminal
+#: snapshots always print, so every point reports at least once).
+PROGRESS_MIN_WALL_S = 0.1
+
+
+def progress_printer(
+    labels: Sequence[Tuple[str, str]],
+    stream=None,
+    min_wall_s: float = PROGRESS_MIN_WALL_S,
+    clock: Callable[[], float] = time.monotonic,
+) -> Callable:
+    """An ``on_snapshot(index, snapshot)`` hook that narrates a run.
+
+    ``labels`` maps point index -> ``(scenario, defense)`` in the same
+    scenario-major, defense-minor order :func:`~repro.scenarios.run.
+    build_points` uses.  Lines are wall-clock throttled so a fast sweep
+    does not flood the terminal; terminal (``last=True``) snapshots
+    always print.
+    """
+    stream = stream if stream is not None else sys.stderr
+    state = {"next": 0.0}
+
+    def on_snapshot(index: int, snap) -> None:
+        now = clock()
+        if not snap.last and now < state["next"]:
+            return
+        state["next"] = now + min_wall_s
+        scenario, defense = labels[index]
+        tag = "done" if snap.last else f"t={snap.sim_time:.0f}"
+        print(
+            f"[{scenario}/{defense}] {tag} n={snap.system_size}"
+            f" bad={snap.bad_fraction:.3f}"
+            f" adv_rate={snap.adversary_spend_rate:.1f}"
+            f" ev/s={snap.events_per_sec:.0f}",
+            file=stream,
+            flush=True,
+        )
+
+    return on_snapshot
 
 
 def _list_catalog() -> str:
@@ -122,6 +172,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = [a for a in args if a != "--all"]
     quick = "--quick" in args
     args = [a for a in args if a != "--quick"]
+    progress = "--progress" in args
+    args = [a for a in args if a != "--progress"]
+    snap_interval_opt = _pop_option(args, "--snapshot-interval")
     defenses = _pop_multi(args, "--defense") or list(SCENARIO_DEFENSES)
     unknown_defenses = [d for d in defenses if d not in SCENARIO_DEFENSES]
     if unknown_defenses:
@@ -147,6 +200,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     n0_scale = float(n0_scale_opt) if n0_scale_opt else (
         QUICK_N0_SCALE if quick else 1.0
     )
+    snapshot_interval = None
+    on_snapshot = None
+    if progress:
+        snapshot_interval = (
+            float(snap_interval_opt)
+            if snap_interval_opt
+            else DEFAULT_SNAPSHOT_INTERVAL
+        )
+        if snapshot_interval <= 0:
+            raise SystemExit("--snapshot-interval must be > 0")
+        labels = [(s, d) for s in names for d in defenses]
+        on_snapshot = progress_printer(labels)
     with runtime.exit_on_interrupt():
         report = run_catalog(
             scenarios=names,
@@ -156,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             n0_scale=n0_scale,
             jobs=jobs,
             policy=policy,
+            snapshot_interval=snapshot_interval,
+            on_snapshot=on_snapshot,
         )
     text = report_json(report)
     out_path = results_path("scenarios.json")

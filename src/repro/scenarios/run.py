@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.adversary.base import Adversary
 from repro.adversary.schedule import ScheduledAdversary, periodic_windows
@@ -35,6 +35,7 @@ from repro.scenarios.catalog import get_scenario, scenario_names
 from repro.scenarios.compile import compile_scenario
 from repro.scenarios.spec import AttackSchedule, ScenarioSpec
 from repro.sim.engine import Simulation, SimulationConfig
+from repro.sim.metrics import SnapshotPolicy
 from repro.sim.null_defense import NullDefense
 from repro.sim.rng import RngRegistry
 
@@ -115,6 +116,8 @@ def run_spec_point(
     spec: ScenarioSpec,
     point: ScenarioPointSpec,
     churn_fast_path: Optional[bool] = None,
+    snapshot_policy: Optional[SnapshotPolicy] = None,
+    on_snapshot: Optional[Callable] = None,
 ) -> Dict:
     """Simulate one (spec, defense) coordinate; returns a flat row.
 
@@ -124,6 +127,10 @@ def run_spec_point(
     compiled churn is consumed through
     :meth:`~repro.scenarios.compile.CompiledScenario.iter_blocks`, so
     streaming ``TraceReplay`` phases flow to the engine lazily.
+
+    ``snapshot_policy`` + ``on_snapshot`` turn on the engine's
+    incremental telemetry; the returned row is byte-identical either
+    way (the engine's determinism contract).
     """
     rngs = RngRegistry(seed=point.seed)
     compiled = compile_scenario(
@@ -138,12 +145,14 @@ def run_spec_point(
             horizon=compiled.horizon,
             seed=point.seed,
             churn_fast_path=churn_fast_path,
+            snapshots=snapshot_policy,
         ),
         defense,
         compiled.iter_blocks(),
         adversary=adversary,
         rngs=rngs,
         initial_members=compiled.initial,
+        on_snapshot=on_snapshot,
     )
     for event in compiled.scheduled:
         sim.queue.push(event)
@@ -184,6 +193,27 @@ def run_scenario_point(point: ScenarioPointSpec) -> Dict:
     return run_spec_point(get_scenario(point.scenario), point)
 
 
+def run_scenario_point_live(
+    point: ScenarioPointSpec,
+    snapshot_interval: float,
+    emit_snapshot: Optional[Callable] = None,
+) -> Dict:
+    """Snapshot-emitting variant of :func:`run_scenario_point`.
+
+    Module-level (hence picklable) worker entry used by
+    :func:`run_catalog` when telemetry is requested: the runtime calls
+    it with ``emit_snapshot`` wired to the live/collected delivery
+    channel (see :func:`repro.experiments.runtime.run_tasks`).  The
+    returned row is byte-identical to the snapshot-free run.
+    """
+    return run_spec_point(
+        get_scenario(point.scenario),
+        point,
+        snapshot_policy=SnapshotPolicy(sim_interval=float(snapshot_interval)),
+        on_snapshot=emit_snapshot,
+    )
+
+
 def build_points(
     scenarios: Sequence[str],
     defenses: Sequence[str],
@@ -218,6 +248,8 @@ def run_catalog(
     jobs: int = 1,
     policy=None,
     on_row=None,
+    snapshot_interval: Optional[float] = None,
+    on_snapshot=None,
 ) -> Dict:
     """Run scenarios x defenses and collect the metrics report.
 
@@ -231,12 +263,30 @@ def run_catalog(
     coordinator as each point completes (or is restored by
     ``policy.resume``), so rows can be persisted incrementally instead
     of only in the returned report.
+
+    ``snapshot_interval`` (simulated seconds, > 0) turns on intra-point
+    telemetry: each point also streams incremental
+    :class:`~repro.sim.metrics.MetricsSnapshot` rows to
+    ``on_snapshot(index, snapshot)`` on the coordinator -- live under
+    ``jobs=1``, batched per completed point under a process pool.  The
+    report is byte-identical either way.
     """
     names = list(scenarios) if scenarios is not None else scenario_names()
     points = build_points(names, defenses, seed, t_rate, n0_scale)
-    report = map_report(
-        run_scenario_point, points, jobs=jobs, policy=policy, on_row=on_row
-    )
+    if snapshot_interval is not None:
+        report = map_report(
+            run_scenario_point_live,
+            [(p, float(snapshot_interval)) for p in points],
+            jobs=jobs,
+            star=True,
+            policy=policy,
+            on_row=on_row,
+            on_snapshot=on_snapshot,
+        )
+    else:
+        report = map_report(
+            run_scenario_point, points, jobs=jobs, policy=policy, on_row=on_row
+        )
     return {
         "seed": seed,
         "n0_scale": n0_scale,

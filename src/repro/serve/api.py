@@ -11,6 +11,8 @@ Endpoints::
     GET  /jobs/<id>       lifecycle record    -> 200 / 404
     GET  /jobs/<id>/rows  result rows so far  -> 200 {"rows": [...]}
                           (?start=N for incremental polling)
+    GET  /jobs/<id>/live  live telemetry      -> 200 SSE stream
+                          (?since=N -> one long-poll JSON batch)
     GET  /healthz         liveness + counts   -> 200
     GET  /metrics         Prometheus text     -> 200
 
@@ -18,6 +20,16 @@ The server is a ``ThreadingHTTPServer`` (one daemon thread per
 connection), so slow readers never block job submission; the sqlite
 store underneath runs in WAL mode precisely so these reader threads
 can stream a job's rows while a worker is still appending them.
+
+``/jobs/<id>/live`` is the streaming half of the telemetry vertical
+(see EXPERIMENTS.md, "Observability"): by default it speaks
+Server-Sent Events -- one ``event: snapshot`` frame per persisted
+engine snapshot, ``id:`` carrying the store's dense per-job seq, a
+terminal ``event: done`` when the job leaves ``running`` -- so
+``curl -N`` and ``EventSource`` both just work.  Passing ``?since=N``
+switches the same route to a single long-poll JSON batch (snapshots
+with ``seq > N``, waiting up to ``LIVE_POLL_MAX_WAIT_S`` for the first
+new one), the fallback for clients that cannot hold a stream open.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ from __future__ import annotations
 import json
 import logging
 import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -39,6 +52,14 @@ MAX_BODY_BYTES = 1 << 20
 
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})$")
 _ROWS_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})/rows$")
+_LIVE_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})/live$")
+
+#: How often the SSE loop re-reads the store for new snapshots.
+LIVE_SSE_POLL_S = 0.25
+#: SSE keep-alive comment cadence while a job emits nothing.
+LIVE_SSE_PING_S = 5.0
+#: Long-poll (?since=N) maximum wait for the first new snapshot.
+LIVE_POLL_MAX_WAIT_S = 20.0
 
 
 class ServeHandler(BaseHTTPRequestHandler):
@@ -78,8 +99,8 @@ class ServeHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
             self._get()
-        except BrokenPipeError:
-            pass  # client went away mid-response
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response (e.g. dropped an SSE)
         except Exception as exc:  # noqa: BLE001 -- 500, never a dead thread
             log.exception("GET %s failed", self.path)
             self._error(500, f"{type(exc).__name__}: {exc}")
@@ -117,6 +138,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         if match:
             self._get_rows(match.group("id"), query)
             return
+        match = _LIVE_PATH.match(path)
+        if match:
+            self._get_live(match.group("id"), query)
+            return
         self._error(404, f"no route for {path!r}")
 
     def _list_jobs(self, query: Dict) -> None:
@@ -131,7 +156,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._error(404, f"no job {job_id!r}")
             return
         count = self.supervisor.store.row_count(job_id)
-        self._json(200, record.as_dict(row_count=count))
+        doc = record.as_dict(row_count=count)
+        if record.state == "running":
+            beat = record.heartbeat_at or record.started_at
+            doc["heartbeat_age_s"] = (
+                round(max(0.0, time.time() - beat), 3) if beat else None
+            )
+        self._json(200, doc)
 
     def _get_rows(self, job_id: str, query: Dict) -> None:
         store = self.supervisor.store
@@ -148,6 +179,104 @@ class ServeHandler(BaseHTTPRequestHandler):
             "count": len(rows),
             "rows": [{"index": index, "row": row} for index, row in rows],
         })
+
+    # -- live telemetry ------------------------------------------------
+    def _get_live(self, job_id: str, query: Dict) -> None:
+        store = self.supervisor.store
+        record = store.get(job_id)
+        if record is None:
+            self._error(404, f"no job {job_id!r}")
+            return
+        if "since" in query:
+            try:
+                # -1 means "from the beginning" (seqs start at 0), so
+                # this cursor is not _int_param's clamped-at-zero kind.
+                since = max(-1, int(query["since"][0]))
+            except ValueError:
+                since = -1
+            self._live_poll(job_id, since)
+        else:
+            self._live_sse(job_id)
+
+    def _live_poll(self, job_id: str, since: int) -> None:
+        """Long-poll fallback: one JSON batch of snapshots past ``since``.
+
+        Waits up to :data:`LIVE_POLL_MAX_WAIT_S` for the first snapshot
+        newer than ``since`` (or the job leaving ``running``), so a
+        poll loop costs one request per batch instead of one per probe.
+        ``next_since`` is the cursor for the follow-up request.
+        """
+        store = self.supervisor.store
+        deadline = time.monotonic() + LIVE_POLL_MAX_WAIT_S
+        while True:
+            record = store.get(job_id)
+            done = record is None or record.state not in ("queued", "running")
+            snaps = store.snapshots(job_id, after=since)
+            if snaps or done or time.monotonic() >= deadline:
+                break
+            time.sleep(LIVE_SSE_POLL_S)
+        next_since = snaps[-1][0] if snaps else since
+        self._json(200, {
+            "job": job_id,
+            "state": record.state if record is not None else None,
+            "since": since,
+            "next_since": next_since,
+            "done": done,
+            "snapshots": [
+                {"seq": seq, "snapshot": doc} for seq, doc in snaps
+            ],
+        })
+
+    def _live_sse(self, job_id: str) -> None:
+        """Stream a running job's snapshots as Server-Sent Events.
+
+        Headers are written by hand because :meth:`_send` speaks
+        Content-Length, and an SSE body has none: the stream ends when
+        the job does (terminal ``event: done`` frame), closing the
+        connection (HTTP/1.1 read-until-close framing).
+        """
+        store = self.supervisor.store
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        last_seq = -1
+        next_ping = time.monotonic() + LIVE_SSE_PING_S
+        while True:
+            record = store.get(job_id)
+            done = record is None or record.state not in ("queued", "running")
+            wrote = False
+            for seq, doc in store.snapshots(job_id, after=last_seq):
+                last_seq = seq
+                payload = json.dumps(doc, sort_keys=True)
+                self.wfile.write(
+                    f"id: {seq}\nevent: snapshot\ndata: {payload}\n\n"
+                    .encode("utf-8")
+                )
+                wrote = True
+            if done:
+                state = record.state if record is not None else "deleted"
+                payload = json.dumps(
+                    {"job": job_id, "state": state, "last_seq": last_seq},
+                    sort_keys=True,
+                )
+                self.wfile.write(
+                    f"event: done\ndata: {payload}\n\n".encode("utf-8")
+                )
+                self.wfile.flush()
+                return
+            now = time.monotonic()
+            if wrote:
+                next_ping = now + LIVE_SSE_PING_S
+            elif now >= next_ping:
+                # Keep-alive comment: lets proxies and the client's TCP
+                # stack notice a dead peer during quiet stretches.
+                self.wfile.write(b": ping\n\n")
+                next_ping = now + LIVE_SSE_PING_S
+            self.wfile.flush()
+            time.sleep(LIVE_SSE_POLL_S)
 
     @staticmethod
     def _int_param(query: Dict, key: str, default: int) -> int:
@@ -179,7 +308,13 @@ class ServeHandler(BaseHTTPRequestHandler):
                 extra={"Retry-After": f"{max(1, round(exc.retry_after))}"},
             )
         except ServiceDraining as exc:
-            self._error(503, str(exc))
+            # A drain is transient by design (the next start picks the
+            # queue back up), so tell well-behaved clients when to retry.
+            retry = self.supervisor.retry_after
+            self._error(
+                503, str(exc),
+                extra={"Retry-After": f"{max(1, round(retry))}"},
+            )
         else:
             self._json(201, record.as_dict(row_count=0))
 

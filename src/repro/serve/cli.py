@@ -31,6 +31,16 @@ Submit work with plain curl::
     curl -s localhost:8642/jobs/<id>
     curl -s localhost:8642/jobs/<id>/rows
 
+and watch it run live (Server-Sent Events; ``curl -N`` disables
+buffering) or long-poll the same route where a stream will not do::
+
+    curl -N localhost:8642/jobs/<id>/live
+    curl -s 'localhost:8642/jobs/<id>/live?since=-1'
+
+``GET /metrics`` exposes Prometheus text -- service gauges plus
+per-running-job spend-rate/bad-fraction gauges from the latest
+snapshot (see EXPERIMENTS.md, "Observability").
+
 Durability contract: every completed point's row is already in the
 WAL-mode sqlite store and the job's checkpoint journal the moment it
 finishes, so ``kill -9`` of the service loses at most in-flight

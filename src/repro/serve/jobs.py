@@ -13,8 +13,9 @@ JSON object::
       "jobs":          1,                      # worker *processes*
       "max_retries":   2,                      # per-point retry budget
       "point_timeout": null,                   # seconds (processes only)
-      "fault_spec":    null                    # repro.faults grammar
-    }
+      "fault_spec":    null,                   # repro.faults grammar
+      "snapshot_interval": 1.0                 # live telemetry cadence
+    }                                          #   (sim seconds; 0 = off)
 
 Validation happens at admission time (:func:`parse_job` raises
 :class:`JobValidationError` -> HTTP 400), so a job that reaches the
@@ -61,6 +62,9 @@ class JobSpec:
     max_retries: int = 2
     point_timeout: Optional[float] = None
     fault_spec: Optional[str] = None
+    #: Simulated seconds between live telemetry snapshots
+    #: (``GET /jobs/<id>/live``); ``0`` disables snapshotting.
+    snapshot_interval: float = 1.0
 
     def as_dict(self) -> Dict[str, Any]:
         doc = asdict(self)
@@ -77,7 +81,7 @@ class JobSpec:
 #: silently ignoring a misspelled ``n0_scale`` would run the wrong job).
 _KNOWN_KEYS = frozenset(
     ("scenarios", "defenses", "seed", "t_rate", "n0_scale", "jobs",
-     "max_retries", "point_timeout", "fault_spec")
+     "max_retries", "point_timeout", "fault_spec", "snapshot_interval")
 )
 
 
@@ -161,6 +165,12 @@ def parse_job(payload: Any) -> JobSpec:
             raise JobValidationError(str(exc)) from None
     else:
         fault_spec = None
+    snapshot_interval = _want(payload, "snapshot_interval", (int, float), 1.0)
+    snapshot_interval = 1.0 if snapshot_interval is None else snapshot_interval
+    if snapshot_interval < 0:
+        raise JobValidationError(
+            "'snapshot_interval' must be >= 0 (0 disables snapshots)"
+        )
 
     return JobSpec(
         scenarios=tuple(scenarios),
@@ -172,6 +182,7 @@ def parse_job(payload: Any) -> JobSpec:
         max_retries=int(max_retries),
         point_timeout=float(point_timeout) if point_timeout else None,
         fault_spec=fault_spec,
+        snapshot_interval=float(snapshot_interval),
     )
 
 
@@ -187,6 +198,8 @@ def spec_from_dict(doc: Dict[str, Any]) -> JobSpec:
         max_retries=doc["max_retries"],
         point_timeout=doc["point_timeout"],
         fault_spec=doc["fault_spec"],
+        # Specs persisted before the telemetry vertical lack the key.
+        snapshot_interval=float(doc.get("snapshot_interval", 1.0)),
     )
 
 
@@ -195,6 +208,7 @@ def execute_job(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     on_row: Optional[Callable[[int, Dict], None]] = None,
+    on_snapshot: Optional[Callable[[int, Any], None]] = None,
 ) -> Dict:
     """Run one job on the fault-tolerant runtime; returns the report.
 
@@ -204,6 +218,12 @@ def execute_job(
     never dies with them.  The checkpoint journal is flushed as rows
     land and removed by the runtime on full success, so a job
     interrupted by a service crash resumes exactly where it stopped.
+
+    ``on_snapshot(point_index, snapshot)`` receives the engine's live
+    telemetry (when the spec's ``snapshot_interval`` is nonzero) -- the
+    supervisor persists these for ``GET /jobs/<id>/live``.  Snapshots
+    are observational only: the report stays byte-identical with them
+    on or off, and a resumed job re-delivers none.
     """
     policy = ExecutionPolicy(
         max_retries=spec.max_retries,
@@ -222,4 +242,10 @@ def execute_job(
         jobs=spec.jobs,
         policy=policy,
         on_row=on_row,
+        snapshot_interval=(
+            spec.snapshot_interval
+            if on_snapshot is not None and spec.snapshot_interval > 0
+            else None
+        ),
+        on_snapshot=on_snapshot,
     )

@@ -65,6 +65,13 @@ CREATE TABLE IF NOT EXISTS job_rows (
     row    TEXT NOT NULL,
     PRIMARY KEY (job_id, idx)
 ) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS job_snapshots (
+    job_id     TEXT NOT NULL,
+    seq        INTEGER NOT NULL,
+    snapshot   TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (job_id, seq)
+) WITHOUT ROWID;
 """
 
 
@@ -94,7 +101,9 @@ class JobRecord:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "heartbeat_at": self.heartbeat_at,
             "attempts": self.attempts,
+            "resume": self.resume,
             "error": self.error,
             "summary": self.summary,
         }
@@ -289,6 +298,73 @@ class JobStore:
             "SELECT COUNT(*) AS n FROM job_rows"
         ).fetchone()
         return row["n"]
+
+    # -- live snapshots ------------------------------------------------
+    def put_snapshot(self, job_id: str, snapshot: Dict[str, Any]) -> int:
+        """Append one telemetry snapshot; returns its assigned seq.
+
+        Seqs are per-job, dense, and monotone (``0, 1, 2, ...``): the
+        INSERT..SELECT assigns ``MAX(seq)+1`` in the same transaction,
+        and each job has exactly one worker writing, so ``/live``
+        readers can detect gaps as data loss rather than racing.
+        """
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT INTO job_snapshots (job_id, seq, snapshot,"
+                " created_at) SELECT ?, COALESCE(MAX(seq), -1) + 1, ?, ?"
+                " FROM job_snapshots WHERE job_id = ?",
+                (job_id, json.dumps(snapshot, sort_keys=True), time.time(),
+                 job_id),
+            )
+            row = conn.execute(
+                "SELECT MAX(seq) AS seq FROM job_snapshots WHERE job_id = ?",
+                (job_id,),
+            ).fetchone()
+        return row["seq"]
+
+    def snapshots(self, job_id: str, after: int = -1,
+                  limit: int = 1000) -> List[Tuple[int, Dict[str, Any]]]:
+        """``(seq, snapshot)`` pairs with ``seq > after``, seq order."""
+        fetched = self._conn().execute(
+            "SELECT seq, snapshot FROM job_snapshots"
+            " WHERE job_id = ? AND seq > ? ORDER BY seq LIMIT ?",
+            (job_id, after, limit),
+        ).fetchall()
+        return [(row["seq"], json.loads(row["snapshot"])) for row in fetched]
+
+    def latest_snapshot(
+        self, job_id: str
+    ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        row = self._conn().execute(
+            "SELECT seq, snapshot FROM job_snapshots WHERE job_id = ?"
+            " ORDER BY seq DESC LIMIT 1",
+            (job_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return (row["seq"], json.loads(row["snapshot"]))
+
+    def snapshot_count(self, job_id: str) -> int:
+        row = self._conn().execute(
+            "SELECT COUNT(*) AS n FROM job_snapshots WHERE job_id = ?",
+            (job_id,),
+        ).fetchone()
+        return row["n"]
+
+    def snapshot_job_ids(self) -> List[str]:
+        """Jobs that still hold snapshots (the prune-scan worklist)."""
+        rows = self._conn().execute(
+            "SELECT DISTINCT job_id FROM job_snapshots ORDER BY job_id"
+        ).fetchall()
+        return [row["job_id"] for row in rows]
+
+    def prune_snapshots(self, job_id: str) -> int:
+        """Drop a finished job's snapshots (the rows are the record)."""
+        with self._conn() as conn:
+            cur = conn.execute(
+                "DELETE FROM job_snapshots WHERE job_id = ?", (job_id,)
+            )
+        return cur.rowcount
 
     # -- decoding ------------------------------------------------------
     @staticmethod

@@ -56,6 +56,18 @@ from repro.serve.store import JobRecord, JobStore
 
 log = logging.getLogger("repro.serve")
 
+#: Minimum wall seconds between persisted snapshots of one job.  The
+#: engine can emit thousands of snapshots per wall second on a small
+#: sweep; /live only needs a human-rate feed, and every terminal
+#: (``last=True``) snapshot bypasses the throttle regardless.
+SNAPSHOT_MIN_WALL_S = 0.05
+
+#: Wall seconds a finished job's snapshots linger before the
+#: maintenance loop prunes them.  Pruning *at* completion would race
+#: attached /live readers out of the terminal snapshots; the linger
+#: lets them drain the tail, while still bounding the table.
+SNAPSHOT_LINGER_S = 30.0
+
 
 class QueueSaturated(RuntimeError):
     """Admission rejected: the bounded job queue is full (HTTP 429)."""
@@ -86,6 +98,8 @@ class Supervisor:
         maintenance_interval: float = 2.0,
         job_attempts: int = 3,
         retry_after: float = 2.0,
+        snapshot_min_wall_s: float = SNAPSHOT_MIN_WALL_S,
+        snapshot_linger_s: float = SNAPSHOT_LINGER_S,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -99,6 +113,8 @@ class Supervisor:
         self.maintenance_interval = maintenance_interval
         self.job_attempts = job_attempts
         self.retry_after = retry_after
+        self.snapshot_min_wall_s = snapshot_min_wall_s
+        self.snapshot_linger_s = snapshot_linger_s
 
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -114,6 +130,10 @@ class Supervisor:
         self.rejects = 0
         #: jobs this process ran to a terminal state (metrics)
         self.completed = 0
+        #: result rows persisted by this process (metrics)
+        self.rows_persisted = 0
+        #: live telemetry snapshots persisted by this process (metrics)
+        self.snapshots_persisted = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -246,11 +266,34 @@ class Supervisor:
         def on_row(index: int, row: Dict) -> None:
             self.store.put_row(job_id, index, row)
             self.store.heartbeat(job_id)
+            with self._lock:
+                self.rows_persisted += 1
 
+        # Persisting every engine snapshot of a fast job would turn the
+        # store into the bottleneck, so non-terminal snapshots are
+        # wall-clock throttled; terminal (``last=True``) ones always
+        # land so /live readers see each point close out.
+        snap_state = {"next": 0.0}
+
+        def on_snapshot(index: int, snap: Any) -> None:
+            now = time.monotonic()
+            if not snap.last and now < snap_state["next"]:
+                return
+            snap_state["next"] = now + self.snapshot_min_wall_s
+            doc = snap.as_dict()
+            doc["point"] = index
+            self.store.put_snapshot(job_id, doc)
+            self.store.heartbeat(job_id)
+            with self._lock:
+                self.snapshots_persisted += 1
+
+        hooks: Dict[str, Any] = {"on_row": on_row}
+        if spec.snapshot_interval > 0:
+            hooks["on_snapshot"] = on_snapshot
         try:
             try:
                 report = execute_job(
-                    spec, checkpoint=checkpoint, resume=resume, on_row=on_row
+                    spec, checkpoint=checkpoint, resume=resume, **hooks
                 )
             except CheckpointMismatch:
                 # The journal belongs to an older incarnation of the
@@ -259,7 +302,7 @@ class Supervisor:
                 log.warning("job %s: stale checkpoint discarded", job_id)
                 Path(checkpoint).unlink(missing_ok=True)
                 report = execute_job(
-                    spec, checkpoint=checkpoint, resume=False, on_row=on_row
+                    spec, checkpoint=checkpoint, resume=False, **hooks
                 )
         except Exception as exc:  # noqa: BLE001 -- jobs fail, workers don't
             log.exception("job %s: execution error", job_id)
@@ -283,6 +326,9 @@ class Supervisor:
             )
         else:
             self.store.finish(job_id, "succeeded", summary=summary)
+        # The snapshots were a live view; the rows are the durable
+        # record.  Maintenance prunes them after SNAPSHOT_LINGER_S, so
+        # /live readers drain the tail before the table is trimmed.
 
     # -- maintenance ---------------------------------------------------
     def _maintenance_loop(self) -> None:
@@ -295,7 +341,7 @@ class Supervisor:
 
     def maintain(self) -> Dict[str, int]:
         """One maintenance pass; returns action counts (for tests)."""
-        actions = {"requeued": 0, "failed": 0, "enqueued": 0}
+        actions = {"requeued": 0, "failed": 0, "enqueued": 0, "pruned": 0}
         with self._lock:
             active = set(self._active)
         for record in self.store.stale_running(self.heartbeat_timeout):
@@ -323,6 +369,15 @@ class Supervisor:
             if job_id not in known:
                 self._enqueue(job_id)
                 actions["enqueued"] += 1
+        cutoff = time.time() - self.snapshot_linger_s
+        for job_id in self.store.snapshot_job_ids():
+            record = self.store.get(job_id)
+            if record is None or (
+                record.state in ("succeeded", "failed")
+                and (record.finished_at or 0.0) < cutoff
+            ):
+                self.store.prune_snapshots(job_id)
+                actions["pruned"] += 1
         return actions
 
     # -- observability -------------------------------------------------
@@ -340,11 +395,34 @@ class Supervisor:
             "workers_busy": active,
         }
 
+    #: ``MetricsSnapshot`` fields exported per running job (suffix ->
+    #: snapshot-dict key); the rest of the snapshot rides on /live.
+    _JOB_GAUGES = (
+        ("sim_time", "sim_time"),
+        ("events_per_sec", "events_per_sec"),
+        ("system_size", "system_size"),
+        ("bad_fraction", "bad_fraction"),
+        ("good_spend_rate", "good_spend_rate"),
+        ("adversary_spend_rate", "adversary_spend_rate"),
+    )
+
     def metrics_text(self) -> str:
-        """The ``GET /metrics`` body (Prometheus text exposition)."""
+        """The ``GET /metrics`` body (Prometheus text exposition).
+
+        Beyond the service-level gauges, every *running* job exports
+        its heartbeat age and -- when live telemetry is on -- the
+        simulation-level gauges of its latest persisted snapshot, so an
+        operator's dashboard can watch a sweep's spend race without
+        polling ``/jobs/<id>/live``.  Per-job series disappear when the
+        job finishes (its snapshots are pruned); Prometheus treats
+        that as the series going stale, which is the intent.
+        """
         health = self.health()
+        now = time.time()
         with self._lock:
             rejects, completed = self.rejects, self.completed
+            rows_persisted = self.rows_persisted
+            snaps_persisted = self.snapshots_persisted
         lines = [
             "# TYPE repro_serve_uptime_seconds gauge",
             f"repro_serve_uptime_seconds {health['uptime_s']}",
@@ -352,17 +430,24 @@ class Supervisor:
         ]
         for state, count in sorted(health["jobs"].items()):
             lines.append(f'repro_serve_jobs{{state="{state}"}} {count}')
+        saturation = health["queue_depth"] / health["queue_capacity"]
         lines += [
             "# TYPE repro_serve_queue_depth gauge",
             f"repro_serve_queue_depth {health['queue_depth']}",
             "# TYPE repro_serve_queue_capacity gauge",
             f"repro_serve_queue_capacity {health['queue_capacity']}",
+            "# TYPE repro_serve_queue_saturation gauge",
+            f"repro_serve_queue_saturation {saturation:.6f}",
             "# TYPE repro_serve_workers gauge",
             f"repro_serve_workers {health['workers']}",
             "# TYPE repro_serve_workers_busy gauge",
             f"repro_serve_workers_busy {health['workers_busy']}",
             "# TYPE repro_serve_result_rows_total counter",
             f"repro_serve_result_rows_total {self.store.total_rows()}",
+            "# TYPE repro_serve_rows_persisted_total counter",
+            f"repro_serve_rows_persisted_total {rows_persisted}",
+            "# TYPE repro_serve_snapshots_persisted_total counter",
+            f"repro_serve_snapshots_persisted_total {snaps_persisted}",
             "# TYPE repro_serve_admission_rejects_total counter",
             f"repro_serve_admission_rejects_total {rejects}",
             "# TYPE repro_serve_jobs_completed_total counter",
@@ -370,4 +455,34 @@ class Supervisor:
             "# TYPE repro_serve_draining gauge",
             f"repro_serve_draining {1 if self._draining else 0}",
         ]
+        running = [
+            record for record in (
+                self.store.get(job_id)
+                for job_id in self.store.running_ids()
+            )
+            if record is not None
+        ]
+        if running:
+            lines.append("# TYPE repro_serve_job_heartbeat_age_seconds gauge")
+            for record in running:
+                beat = record.heartbeat_at or record.started_at
+                age = max(0.0, now - beat) if beat else 0.0
+                lines.append(
+                    f'repro_serve_job_heartbeat_age_seconds'
+                    f'{{job="{record.id}"}} {age:.3f}'
+                )
+            gauge_rows = []
+            for record in running:
+                latest = self.store.latest_snapshot(record.id)
+                if latest is not None:
+                    gauge_rows.append((record.id, latest[1]))
+            for suffix, key in self._JOB_GAUGES:
+                rows = [(jid, doc) for jid, doc in gauge_rows if key in doc]
+                if not rows:
+                    continue
+                lines.append(f"# TYPE repro_serve_job_{suffix} gauge")
+                for jid, doc in rows:
+                    lines.append(
+                        f'repro_serve_job_{suffix}{{job="{jid}"}} {doc[key]}'
+                    )
         return "\n".join(lines) + "\n"

@@ -27,7 +27,9 @@ from repro.sim.events import (
 from repro.sim.metrics import (
     Counter,
     MetricSet,
+    MetricsSnapshot,
     SlidingWindowCounter,
+    SnapshotPolicy,
     SpendMeter,
     TimeSeries,
 )
@@ -43,10 +45,12 @@ __all__ = [
     "GoodDeparture",
     "GoodJoin",
     "MetricSet",
+    "MetricsSnapshot",
     "RngRegistry",
     "Simulation",
     "SimulationConfig",
     "SlidingWindowCounter",
+    "SnapshotPolicy",
     "SpendMeter",
     "Tick",
     "TimeSeries",

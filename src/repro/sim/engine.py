@@ -56,6 +56,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,7 +73,7 @@ from repro.sim.events import (
     GoodJoin,
     Tick,
 )
-from repro.sim.metrics import MetricSet
+from repro.sim.metrics import MetricSet, MetricsSnapshot, SnapshotPolicy
 from repro.sim.rng import RngRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -187,6 +188,12 @@ class SimulationConfig:
     #: resolves to :data:`FAST_PATH_DEFAULT`; ``False`` expands blocks
     #: into per-event objects (the A/B baseline for equivalence tests).
     churn_fast_path: Optional[bool] = None
+    #: emit incremental :class:`~repro.sim.metrics.MetricsSnapshot` rows
+    #: through the simulation's ``on_snapshot`` callback (and the
+    #: defense's :class:`~repro.sim.tracing.TraceRecorder`, when
+    #: enabled).  ``None`` disables emission; final metrics are
+    #: byte-identical either way.
+    snapshots: Optional[SnapshotPolicy] = None
 
 
 @dataclass
@@ -222,6 +229,7 @@ class Simulation:
         adversary: Optional["Adversary"] = None,
         rngs: Optional[RngRegistry] = None,
         initial_members: Optional[Iterable] = None,
+        on_snapshot: Optional[Callable[[MetricsSnapshot], None]] = None,
     ) -> None:
         self.config = config
         self.clock = Clock()
@@ -264,6 +272,14 @@ class Simulation:
         #: that session departure fires, the alias entry is retired too.
         self._alias_owners: dict = {}
         self._next_sample = 0.0
+        #: live-telemetry consumer; see :meth:`_emit_snapshot`
+        self.on_snapshot = on_snapshot
+        self._snap_seq = 0
+        self._snap_last_time = 0.0
+        self._snap_last_good = 0.0
+        self._snap_last_adversary = 0.0
+        self._snap_wall_start: Optional[float] = None
+        self._snap_tracer = None
         #: earliest time another adversary.act() call could matter
         self._adversary_wake = float("-inf")
         #: event tallies flushed into MetricSet.counters at summarize
@@ -447,6 +463,27 @@ class Simulation:
         fast_events = 0
         fast_joins = 0
         max_size = queue.max_size
+        # Snapshot thresholds: _INF when telemetry is off (or nobody is
+        # listening), so the disabled cost is two float compares per
+        # iteration.  Emission never cuts a batch -- due-checks run only
+        # *after* a batch (or event) has been applied exactly as it
+        # would have been without the policy, which is what keeps final
+        # metrics byte-identical with the hook on or off.
+        tracer = getattr(defense, "tracer", None)
+        self._snap_tracer = tracer if (
+            tracer is not None and tracer.enabled
+        ) else None
+        snap_on = config.snapshots is not None and (
+            self.on_snapshot is not None or self._snap_tracer is not None
+        )
+        if snap_on:
+            if self._snap_wall_start is None:
+                self._snap_wall_start = time.perf_counter()
+            snap_next_time, snap_next_events = self._snap_thresholds(
+                self._snap_last_time, pops + fast_events
+            )
+        else:
+            snap_next_time = snap_next_events = _INF
         # Same-instant tie tracking (block mode): when the frontier
         # first reaches a time t, one seq is burned as a watermark;
         # heap entries pushed during instant t carry seqs >= the
@@ -642,6 +679,16 @@ class Simulation:
                         if last_t >= next_sample:
                             self._sample_now()
                             next_sample = last_t + sample_interval
+                        if (
+                            last_t >= snap_next_time
+                            or pops + fast_events >= snap_next_events
+                        ):
+                            snap_next_time, snap_next_events = (
+                                self._emit_snapshot(
+                                    last_t, pops + fast_events,
+                                    fast_events, len(heap),
+                                )
+                            )
                         continue
             if not heap:
                 break
@@ -732,6 +779,10 @@ class Simulation:
             if now >= next_sample:
                 self._sample_now()
                 next_sample = now + sample_interval
+            if now >= snap_next_time or pops + fast_events >= snap_next_events:
+                snap_next_time, snap_next_events = self._emit_snapshot(
+                    now, pops + fast_events, fast_events, len(heap)
+                )
         queue.pops += pops
         queue.pushes += churn_pushes
         if queue.max_size < max_size:
@@ -755,6 +806,10 @@ class Simulation:
         if adversary is not None and horizon >= adv_wake:
             adversary.act(horizon)
         self._sample_now()
+        if snap_on:
+            # Terminal snapshot: cumulative spend here equals the final
+            # row exactly (the horizon-time adversary act has run).
+            self._emit_snapshot(horizon, 0, 0, len(queue._heap), last=True)
         return self._summarize()
 
     # ------------------------------------------------------------------
@@ -881,6 +936,79 @@ class Simulation:
     def _dispatch(self, event) -> None:
         """Route one event (kept for tests and out-of-loop callers)."""
         self._handler_for(event.__class__)(event, self.clock.now)
+
+    def _snap_thresholds(self, now: float, events_done: int):
+        """Next (sim-time, event-count) marks that trigger a snapshot."""
+        policy = self.config.snapshots
+        next_time = (
+            now + policy.sim_interval if policy.sim_interval else _INF
+        )
+        next_events = (
+            events_done + policy.every_events if policy.every_events else _INF
+        )
+        return next_time, next_events
+
+    def _emit_snapshot(self, now: float, events_local: int,
+                       fast_local: int, heap_size: int,
+                       last: bool = False):
+        """Build and deliver one :class:`MetricsSnapshot`; returns the
+        next thresholds (in the run loop's local event basis).
+
+        Determinism contract: this reads existing state only --
+        ``defense.system_size()`` / ``bad_fraction()`` and the spend
+        meters' totals -- draws no RNG, and records nothing into the
+        run's :class:`MetricSet`, so the simulated trajectory (and the
+        final metrics JSON) is identical with snapshots on or off.
+        ``events_local``/``fast_local`` count this ``run()`` call; the
+        already-flushed totals from earlier calls are added back for
+        the reported cumulative fields.
+        """
+        metrics = self.metrics
+        good = metrics.good.total
+        adversary = metrics.adversary.total
+        dt = now - self._snap_last_time
+        wall = time.perf_counter() - self._snap_wall_start
+        events = self.queue.pops + self._fast_churn_events + events_local
+        snapshot = MetricsSnapshot(
+            seq=self._snap_seq,
+            sim_time=now,
+            wall_time_s=wall,
+            events=events,
+            events_per_sec=events / wall if wall > 0 else 0.0,
+            system_size=self.defense.system_size(),
+            bad_fraction=self.defense.bad_fraction(),
+            good_spend=good,
+            adversary_spend=adversary,
+            good_spend_rate=(
+                (good - self._snap_last_good) / dt if dt > 0 else 0.0
+            ),
+            adversary_spend_rate=(
+                (adversary - self._snap_last_adversary) / dt if dt > 0 else 0.0
+            ),
+            churn_events_fast=self._fast_churn_events + fast_local,
+            heap_size=heap_size,
+            last=last,
+        )
+        self._snap_seq += 1
+        self._snap_last_time = now
+        self._snap_last_good = good
+        self._snap_last_adversary = adversary
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)
+        tracer = self._snap_tracer
+        if tracer is not None:
+            tracer.emit(
+                now, "snapshot",
+                seq=snapshot.seq,
+                events=snapshot.events,
+                system_size=snapshot.system_size,
+                bad_fraction=snapshot.bad_fraction,
+                good_spend=snapshot.good_spend,
+                adversary_spend=snapshot.adversary_spend,
+                good_spend_rate=snapshot.good_spend_rate,
+                adversary_spend_rate=snapshot.adversary_spend_rate,
+            )
+        return self._snap_thresholds(now, events_local)
 
     def _sample_now(self) -> None:
         now = self.clock.now

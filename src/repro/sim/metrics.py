@@ -11,7 +11,7 @@ seconds" query at the heart of Ergo's entrance cost (Figure 4, Step 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -426,6 +426,84 @@ class SlidingWindowCounter:
         if self._max_width is not None:
             self._prune(times[-1])
         return counts.tolist()
+
+
+@dataclass(frozen=True)
+class SnapshotPolicy:
+    """When the engine emits incremental :class:`MetricsSnapshot` rows.
+
+    Either knob (or both) may be set: ``sim_interval`` emits a snapshot
+    whenever the clock crosses the next interval mark, ``every_events``
+    whenever another N logical events have been processed.  Emission is
+    strictly *observational*: the engine samples existing counters and
+    spend totals at batch boundaries it would have taken anyway, draws
+    no RNG, and records nothing into the run's metrics -- so final
+    metrics are byte-identical with snapshots on or off, on both the
+    block fast path and the per-event heap path.
+    """
+
+    #: emit whenever simulated time advances past the next mark
+    sim_interval: Optional[float] = None
+    #: emit whenever another N logical events have been processed
+    every_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sim_interval is None and self.every_events is None:
+            raise ValueError(
+                "SnapshotPolicy needs sim_interval and/or every_events"
+            )
+        if self.sim_interval is not None and self.sim_interval <= 0:
+            raise ValueError(
+                f"sim_interval must be positive seconds: {self.sim_interval}"
+            )
+        if self.every_events is not None and self.every_events < 1:
+            raise ValueError(
+                f"every_events must be >= 1: {self.every_events}"
+            )
+
+
+class MetricsSnapshot(NamedTuple):
+    """One incremental telemetry row emitted mid-run by the engine.
+
+    Spend *totals* are cumulative since the start of the run; spend
+    *rates* are deltas since the previous snapshot divided by the
+    simulated time elapsed between them, so a live reader sees the
+    paper's headline quantities (good rate ``A`` vs adversary rate
+    ``T``) as they evolve.  ``wall_time_s`` / ``events_per_sec`` are
+    wall-clock observability fields and the only nondeterministic ones;
+    everything else is a pure function of the simulated trajectory.
+
+    A ``NamedTuple`` rather than a (frozen) dataclass deliberately:
+    construction happens inside the engine loop, and tuple creation is
+    several times cheaper than fourteen ``object.__setattr__`` calls --
+    the difference is most of the snapshot hook's overhead budget.
+    """
+
+    #: 0-based emission index within this run
+    seq: int
+    sim_time: float
+    #: wall seconds since the run started (nondeterministic)
+    wall_time_s: float
+    #: logical events processed so far (heap pops + fast-path rows)
+    events: int
+    #: events / wall_time_s (nondeterministic)
+    events_per_sec: float
+    system_size: int
+    bad_fraction: float
+    good_spend: float
+    adversary_spend: float
+    #: delta spend / delta sim-time since the previous snapshot
+    good_spend_rate: float
+    adversary_spend_rate: float
+    #: good-churn rows applied via the zero-heap block fast path so far
+    churn_events_fast: int
+    #: resident event-heap entries at emission time
+    heap_size: int
+    #: True only for the terminal snapshot emitted at the horizon
+    last: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return self._asdict()
 
 
 @dataclass

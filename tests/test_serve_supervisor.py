@@ -162,7 +162,9 @@ class TestMaintenance:
         with supervisor._lock:
             supervisor._active.add("live01")
         actions = supervisor.maintain()
-        assert actions == {"requeued": 0, "failed": 0, "enqueued": 0}
+        assert actions == {
+            "requeued": 0, "failed": 0, "enqueued": 0, "pruned": 0,
+        }
         assert store.get("live01").state == "running"
 
 
