@@ -1,7 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke scenarios chaos serve-smoke traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
+.PHONY: lint test smoke scenarios chaos serve-smoke traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
+
+# Static invariant lint: determinism boundary, atomic writes, serve
+# thread-safety, defense hook contracts, broad-except justification.
+# `$(PYTHON) -m repro lint --list-rules` prints the rule catalog and
+# `--explain RULE` the full rationale for any rule.  CI runs this as
+# the fail-fast step before the test matrix; a tier-1 test asserts the
+# same clean verdict, so `make test` catches violations too.
+lint:
+	$(PYTHON) -m repro lint src benchmarks scripts
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from repro.identity.membership import ArenaMembershipSet, DictMembershipSet
+from repro.resilience import atomic_write_text
 
 BACKENDS = {"dict": DictMembershipSet, "arena": ArenaMembershipSet}
 
@@ -145,8 +146,7 @@ def main(argv: List[str] = None) -> dict:
             snapshot = {}
     snapshot.update(metrics)
     text = json.dumps(snapshot, indent=2, sort_keys=True)
-    with open(json_path, "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(json_path, text + "\n")
     print(json.dumps(metrics, indent=2, sort_keys=True))
     return metrics
 

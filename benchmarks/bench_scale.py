@@ -47,6 +47,7 @@ from typing import Callable, Dict, List
 
 from repro.baselines.sybilcontrol import SybilControl
 from repro.churn.generators import poisson_join_blocks
+from repro.resilience import atomic_write_text
 from repro.churn.sessions import ExponentialSessions
 from repro.core.ergo import Ergo
 from repro.sim.engine import Simulation, SimulationConfig
@@ -204,11 +205,9 @@ def main(argv: List[str] = None) -> dict:
     print(text)
     for i, arg in enumerate(args):
         if arg == "--json" and i + 1 < len(args):
-            with open(args[i + 1], "w") as handle:
-                handle.write(text + "\n")
+            atomic_write_text(args[i + 1], text + "\n")
         elif arg.startswith("--json="):
-            with open(arg.split("=", 1)[1], "w") as handle:
-                handle.write(text + "\n")
+            atomic_write_text(arg.split("=", 1)[1], text + "\n")
     if not ok:
         sys.exit(1)
     return report

@@ -64,6 +64,7 @@ from repro.adversary.strategies import GreedyJoinAdversary
 from repro.experiments import figure8
 from repro.experiments.config import Figure8Config
 from repro.experiments.parallel import parse_jobs
+from repro.resilience import atomic_write_text
 from repro.sim import engine
 from repro.sim.blocks import ChurnBlock
 from repro.sim.engine import PATH_COUNTERS, Simulation, SimulationConfig
@@ -332,11 +333,9 @@ def main(argv: List[str] = None) -> dict:
     print(text)
     for i, arg in enumerate(args):
         if arg == "--json" and i + 1 < len(args):
-            with open(args[i + 1], "w") as handle:
-                handle.write(text + "\n")
+            atomic_write_text(args[i + 1], text + "\n")
         elif arg.startswith("--json="):
-            with open(arg.split("=", 1)[1], "w") as handle:
-                handle.write(text + "\n")
+            atomic_write_text(arg.split("=", 1)[1], text + "\n")
     return report
 
 

@@ -34,6 +34,7 @@ import time
 import tracemalloc
 from typing import List
 
+from repro.resilience import atomic_write_text
 from repro.scenarios.run import ScenarioPointSpec, run_spec_point
 from repro.scenarios.spec import AttackSchedule, ScenarioSpec, SessionSpec, TraceReplay
 from repro.traces.source import fetch_trace, get_trace_source
@@ -194,8 +195,9 @@ def main(argv: List[str] = None) -> dict:
     )
     print(text)
     if json_path:
-        with open(json_path, "w") as handle:
-            handle.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            json_path, json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
     if not ok:
         sys.exit(1)
     return report

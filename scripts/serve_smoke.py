@@ -85,7 +85,7 @@ def read_live(url: str, job_id: str, frames: list) -> None:
                 if buf.startswith(b"event: done"):
                     return
                 buf = b""
-    except Exception as exc:  # noqa: BLE001 -- report via frames check
+    except Exception as exc:  # lint: allow[broad-except] -- reader errors surface through the frames assertion
         frames.append(f"READER-ERROR: {exc}")
 
 

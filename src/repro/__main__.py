@@ -12,6 +12,7 @@ Usage::
     python -m repro scenarios list
     python -m repro scenarios run <name> [--quick] [--jobs N]
     python -m repro serve [--port N] [--data-dir PATH]
+    python -m repro lint [--json] [--explain RULE] [--list-rules] [paths...]
     python -m repro traces list
     python -m repro traces fetch <name> [--force]
     python -m repro traces stats <ref>
@@ -33,7 +34,10 @@ Outputs land in ``results/`` (tables, ASCII plots, CSV series).
 diurnal cycles, mass exoduses, flapping Sybils, trace replays) across
 the whole defense suite; ``traces`` manages the churn-trace registry
 (fetch with SHA-256 verification, synthetic consensus-flap generation,
-streaming stats and conversion).  See each subcommand's ``--help``.
+streaming stats and conversion).  ``lint`` statically checks the
+repo's reproducibility contracts -- determinism boundaries, atomic
+writes, serve-layer thread safety, defense hook pairing (EXPERIMENTS.md,
+"Static invariants").  See each subcommand's ``--help``.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ from repro.experiments import (
     lowerbound,
     sensitivity,
 )
+from repro.devtools import cli as lint_cli
 from repro.scenarios import cli as scenarios_cli
 from repro.serve import cli as serve_cli
 from repro.traces import cli as traces_cli
@@ -67,6 +72,7 @@ FIGURE_COMMANDS: Dict[str, Callable[[List[str]], object]] = {
 
 COMMANDS: Dict[str, Callable[[List[str]], object]] = {
     **FIGURE_COMMANDS,
+    "lint": lint_cli.main,
     "scenarios": scenarios_cli.main,
     "serve": serve_cli.main,
     "traces": traces_cli.main,

@@ -12,6 +12,8 @@ import io
 import math
 from typing import Dict, List, Optional, Sequence
 
+from repro.resilience import atomic_write_text
+
 
 def format_table(
     headers: Sequence[str],
@@ -103,6 +105,5 @@ def series_to_csv(
             out.write(f"{x!r},{name},{y!r}\n")
     text = out.getvalue()
     if path is not None:
-        with open(path, "w") as handle:
-            handle.write(text)
+        atomic_write_text(path, text)
     return text

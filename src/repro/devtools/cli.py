@@ -1,0 +1,88 @@
+"""``python -m repro lint`` -- the static-invariant checker.
+
+Usage::
+
+    python -m repro lint [--json] [paths...]     # lint (default: src/ benchmarks/ scripts/)
+    python -m repro lint --list-rules            # rule catalog, one line each
+    python -m repro lint --explain R002          # full rationale for one rule
+    python -m repro lint --explain atomic-write  # names work too
+
+Exit status: 0 clean, 1 violations found, 2 usage error.  The repo's
+own tree must lint clean -- a tier-1 test asserts it -- so CI runs
+this as an early fail-fast step and uploads the ``--json`` report as
+an artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools.registry import all_rules, get_rule
+from repro.devtools.reporters import render_json, render_rule_list, render_text
+from repro.devtools.walker import lint_paths
+
+#: What a bare ``repro lint`` checks, relative to the working
+#: directory (missing entries are skipped, so the command also works
+#: from an installed tree where only ``src`` exists).
+DEFAULT_PATHS = ("src", "benchmarks", "scripts")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    if "-h" in args or "--help" in args:
+        print(__doc__)
+        return 0
+
+    if "--list-rules" in args:
+        print(render_rule_list())
+        return 0
+
+    if "--explain" in args:
+        index = args.index("--explain")
+        if index + 1 >= len(args):
+            print("--explain needs a rule id or name (try --list-rules)",
+                  file=sys.stderr)
+            return 2
+        rule = get_rule(args[index + 1])
+        if rule is None:
+            known = ", ".join(r.id for r in all_rules())
+            print(f"unknown rule {args[index + 1]!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+        print(f"{rule.id} [{rule.name}] -- {rule.summary}\n")
+        print((rule.explain or "").strip())
+        return 0
+
+    as_json = "--json" in args
+    paths = [arg for arg in args if not arg.startswith("-")]
+    unknown = [
+        arg for arg in args
+        if arg.startswith("-") and arg not in ("--json",)
+    ]
+    if unknown:
+        print(f"unknown option(s): {', '.join(unknown)}", file=sys.stderr)
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    if not paths:
+        paths = [p for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print("nothing to lint: no paths given and none of "
+                  f"{'/'.join(DEFAULT_PATHS)} exist here", file=sys.stderr)
+            return 2
+    else:
+        missing = [p for p in paths if not Path(p).exists()]
+        if missing:
+            print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+            return 2
+
+    violations, files = lint_paths(paths)
+    print(render_json(violations, files) if as_json
+          else render_text(violations, files))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The rule registry: id/name -> rule instance.
+
+Rule modules self-register at import time via the :func:`register`
+decorator; :mod:`repro.devtools.__init__` imports them all, so
+``all_rules()`` is complete as soon as the package is imported and
+presents in rule-id order (``--list-rules``, report grouping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.devtools.walker import Rule
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by id and name."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} needs both an id and a name")
+    for key in (rule.id, rule.name):
+        existing = _RULES.get(key)
+        if existing is not None and type(existing) is not cls:
+            raise ValueError(
+                f"rule key {key!r} already registered by "
+                f"{type(existing).__name__}"
+            )
+        _RULES[key] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, once, ordered by rule id."""
+    seen = []
+    for rule in _RULES.values():
+        if rule not in seen:
+            seen.append(rule)
+    return sorted(seen, key=lambda rule: rule.id)
+
+
+def get_rule(key: str) -> Optional[Rule]:
+    """Look a rule up by id (``R001``) or name (``determinism``)."""
+    return _RULES.get(key)

@@ -1,0 +1,69 @@
+"""Lint output: human text and machine JSON.
+
+The text form is one grep-able diagnostic per line
+(``path:line:col: R001[determinism] message``) plus a summary; the
+JSON form is what CI uploads as an artifact and what dashboards
+consume (stable keys, violations sorted by path/line/col).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.devtools.registry import all_rules
+from repro.devtools.walker import Violation
+
+
+def sort_violations(violations: Sequence[Violation]) -> List[Violation]:
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def render_text(violations: Sequence[Violation], files: int) -> str:
+    """The default report: diagnostics, per-rule tallies, a verdict."""
+    ordered = sort_violations(violations)
+    lines = [violation.render() for violation in ordered]
+    if ordered:
+        tally = Counter(f"{v.rule}[{v.name}]" for v in ordered)
+        lines.append("")
+        for key in sorted(tally):
+            lines.append(f"  {tally[key]:4d}  {key}")
+        lines.append(
+            f"{len(ordered)} violation(s) in {files} file(s) -- "
+            f"`repro lint --explain RULE` describes any rule"
+        )
+    else:
+        lines.append(f"clean: {files} file(s), 0 violations")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files: int) -> str:
+    """The ``--json`` body (also the CI artifact)."""
+    ordered = sort_violations(violations)
+    doc: Dict[str, object] = {
+        "clean": not ordered,
+        "files": files,
+        "violations": [violation.as_dict() for violation in ordered],
+        "counts": dict(
+            sorted(Counter(violation.rule for violation in ordered).items())
+        ),
+        "rules": [
+            {"id": rule.id, "name": rule.name, "summary": rule.summary}
+            for rule in all_rules()
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules``: id, name, one-line summary per registered rule."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"      {rule.summary}")
+    lines.append(
+        "\nSuppress a single line with `# lint: allow[ID-or-name] -- why`;"
+        "\nunused suppressions are themselves flagged (W001)."
+    )
+    return "\n".join(lines)

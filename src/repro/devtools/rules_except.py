@@ -1,0 +1,75 @@
+"""R005 ``broad-except`` -- no silent swallow-everything handlers.
+
+A ``except Exception:`` (or worse, a bare ``except:`` /
+``except BaseException:``) is two very different things depending on
+where it sits.  In a supervisor worker loop or an HTTP dispatcher it
+is load-bearing: the thread must survive anything a job throws at it,
+and the failure is recorded on the job.  Anywhere else it swallows
+typos, ``KeyboardInterrupt``-adjacent state corruption, and genuine
+bugs -- the sweep that "succeeded" because the exception that should
+have failed it was eaten.
+
+The rule flags every broad handler.  Legitimate ones stay broad and
+say why, in-line, where the next reader will see it::
+
+    except Exception as exc:  # lint: allow[broad-except] -- jobs fail, workers don't
+
+Everything else should name the exceptions it actually expects
+(``except (OSError, json.JSONDecodeError):``).  ``raise`` -ing the
+exception again does not exempt a handler: re-raise filters belong in
+``should_retry`` predicates, not broad catches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.config import LintConfig
+from repro.devtools.registry import register
+from repro.devtools.walker import FileContext, Rule, Violation
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The broad class this except clause catches, or None."""
+    if node is None:
+        return "(bare except)"
+    if isinstance(node, ast.Name) and node.id in BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            found = _broad_name(element)
+            if found is not None:
+                return found
+    return None
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "R005"
+    name = "broad-except"
+    summary = (
+        "except Exception / bare except needs narrowing or an inline "
+        "justification"
+    )
+    explain = __doc__ or ""
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_name(node.type)
+            if broad is None:
+                continue
+            yield ctx.violation(
+                self,
+                node,
+                f"broad handler catches {broad}; narrow it to the "
+                f"exceptions actually expected, or keep it broad with "
+                f"`# lint: allow[broad-except] -- <why>` if this handler "
+                f"is a supervisor boundary that must survive anything",
+            )

@@ -1,0 +1,208 @@
+"""R003 ``serve-thread-safety`` -- sqlite + lock discipline in serve/.
+
+The service runs many HTTP handler threads against one sqlite file.
+That is safe under exactly one discipline, the one ``serve/store.py``
+establishes: every thread gets its *own* connection from a
+``threading.local()`` accessor, and no connection ever crosses a
+thread boundary.  The rule enforces the pattern statically inside the
+serve packages:
+
+* ``sqlite3.connect`` may only be called inside an accessor -- a
+  function that also stores the connection into a ``threading.local``
+  slot (an assignment through an attribute named ``*local*``, e.g.
+  ``self._local.conn = conn``).  Anywhere else, a fresh connection is
+  one ``submit()`` away from being shared across threads.
+
+* a connection must not *escape*: returning ``self._conn()`` from
+  another method, or assigning it (or ``sqlite3.connect(...)``) to a
+  plain instance attribute, publishes a per-thread object to every
+  thread that can see the instance.
+
+* a held lock must not wrap blocking calls.  The supervisor's lock
+  guards counters and set membership -- microseconds.  A
+  ``time.sleep``, a thread/process/pool ``.join()``, or a socket/HTTP
+  operation inside ``with <lock>:`` turns every HTTP handler and
+  worker into a convoy.  (``Condition.wait`` releases the lock and is
+  not flagged; ``str.join`` is out of scope via receiver-name
+  heuristics -- see ``LintConfig.joinable_markers``.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.config import LintConfig
+from repro.devtools.registry import register
+from repro.devtools.walker import FileContext, Rule, Violation, terminal_name
+
+#: Callables that block for wall-clock time (resolved dotted names).
+BLOCKING_QUALIFIED = frozenset(
+    {
+        "time.sleep",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+#: Method names that block when called on sockets/HTTP objects.
+BLOCKING_METHODS = frozenset(
+    {"sleep", "urlopen", "accept", "recv", "recv_into", "sendall",
+     "makefile", "getresponse", "read_until_close"}
+)
+
+
+def _assigns_thread_local(scope: ast.AST) -> bool:
+    """Does this scope store anything into a ``*local*`` attribute?"""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and isinstance(
+                    target.value, ast.Attribute
+                ):
+                    if "local" in target.value.attr:
+                        return True
+    return False
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    """Terminal name of a call's receiver (``self._pool.join`` -> ``_pool``)."""
+    if isinstance(node, ast.Attribute):
+        return terminal_name(node.value)
+    return None
+
+
+def _is_lockish(node: ast.expr, config: LintConfig) -> bool:
+    name = terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(marker in lowered for marker in config.lock_name_markers)
+
+
+def _connectionish_call(ctx: FileContext, node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if it yields a sqlite connection, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    qualified = ctx.imports.qualified(node.func)
+    if qualified == "sqlite3.connect":
+        return "sqlite3.connect(...)"
+    tail = terminal_name(node.func)
+    if tail is not None and tail.startswith("_conn"):
+        return f"{tail}()"
+    return None
+
+
+@register
+class ServeThreadSafetyRule(Rule):
+    id = "R003"
+    name = "serve-thread-safety"
+    summary = (
+        "serve/: sqlite connections stay behind the thread-local "
+        "accessor; locks must not be held across blocking calls"
+    )
+    explain = __doc__ or ""
+
+    def check(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterator[Violation]:
+        if not config.in_serve(ctx.path):
+            return
+
+        for node in ast.walk(ctx.tree):
+            # sqlite3.connect outside a thread-local accessor
+            if isinstance(node, ast.Call):
+                qualified = ctx.imports.qualified(node.func)
+                if qualified == "sqlite3.connect":
+                    scope = ctx.enclosing_scope(node)
+                    if not _assigns_thread_local(scope):
+                        yield ctx.violation(
+                            self,
+                            node,
+                            "sqlite3.connect() outside the thread-local "
+                            "accessor pattern; sqlite connections must be "
+                            "created per-thread and cached on a "
+                            "threading.local slot (see serve/store.py "
+                            "JobStore._conn)",
+                        )
+
+            # connection escaping via return
+            elif isinstance(node, ast.Return) and node.value is not None:
+                described = _connectionish_call(ctx, node.value)
+                if described and not _assigns_thread_local(
+                    ctx.enclosing_scope(node)
+                ):
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"returning {described} hands a per-thread sqlite "
+                        f"connection to an arbitrary caller; only the "
+                        f"thread-local accessor may return it",
+                    )
+
+            # connection escaping via instance attribute
+            elif isinstance(node, ast.Assign):
+                described = _connectionish_call(ctx, node.value)
+                if described:
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and not (
+                                isinstance(target.value, ast.Attribute)
+                                and "local" in target.value.attr
+                            )
+                        ):
+                            yield ctx.violation(
+                                self,
+                                node,
+                                f"storing {described} on an instance "
+                                f"attribute shares one sqlite connection "
+                                f"across threads; cache it on a "
+                                f"threading.local slot instead",
+                            )
+                            break
+
+            # blocking calls under a held lock
+            elif isinstance(node, ast.With):
+                locked = [
+                    item
+                    for item in node.items
+                    if _is_lockish(item.context_expr, config)
+                ]
+                if not locked:
+                    continue
+                lock_name = terminal_name(locked[0].context_expr)
+                for inner in ast.walk(node):
+                    if inner is node or not isinstance(inner, ast.Call):
+                        continue
+                    qualified = ctx.imports.qualified(inner.func)
+                    method = (
+                        inner.func.attr
+                        if isinstance(inner.func, ast.Attribute)
+                        else None
+                    )
+                    blocked = None
+                    if qualified in BLOCKING_QUALIFIED:
+                        blocked = qualified
+                    elif method == "join":
+                        receiver = _receiver_name(inner.func) or ""
+                        if any(
+                            marker in receiver.lower()
+                            for marker in config.joinable_markers
+                        ):
+                            blocked = f"{receiver}.join()"
+                    elif method in BLOCKING_METHODS:
+                        blocked = f".{method}()"
+                    if blocked is not None:
+                        yield ctx.violation(
+                            self,
+                            inner,
+                            f"{blocked} while holding {lock_name!r}: a "
+                            f"blocking call under a held lock convoys "
+                            f"every HTTP handler and worker thread; move "
+                            f"the blocking work outside the critical "
+                            f"section",
+                        )

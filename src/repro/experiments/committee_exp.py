@@ -24,6 +24,7 @@ from repro.churn.datasets import NETWORKS
 from repro.committee.decentralized import DecentralizedErgo
 from repro.experiments.config import CommitteeConfig, scaled_n0
 from repro.experiments.report import results_path
+from repro.resilience import atomic_write_text
 from repro.sim.engine import Simulation, SimulationConfig
 from repro.sim.rng import RngRegistry
 
@@ -101,8 +102,7 @@ def main(argv: List[str] = None) -> CommitteeReport:
     config = CommitteeConfig.quick() if "--quick" in args else CommitteeConfig()
     report = run(config)
     text = render(report)
-    with open(results_path("committee.txt"), "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(results_path("committee.txt"), text + "\n")
     print(text)
     return report
 

@@ -212,7 +212,7 @@ def _item_digest(item: Any) -> str:
     """
     try:
         payload = pickle.dumps(item, protocol=PICKLE_PROTOCOL)
-    except Exception:
+    except Exception:  # lint: allow[broad-except] -- arbitrary __reduce__ can raise anything; repr fallback is always safe
         payload = repr(item).encode("utf-8", "replace")
     return hashlib.sha256(payload).hexdigest()
 
@@ -579,7 +579,7 @@ def _parallel_loop(state: _SweepState) -> None:
                     break
                 except KeyboardInterrupt:
                     raise
-                except BaseException as exc:
+                except BaseException as exc:  # lint: allow[broad-except] -- worker faults (incl. SystemExit) become structured failure rows
                     state.charge(
                         index, exc, f"{type(exc).__name__}: {exc}",
                         time.monotonic() - started,
@@ -652,7 +652,7 @@ def _serial_loop(state: _SweepState) -> None:
                 )
             except KeyboardInterrupt:
                 raise
-            except BaseException as exc:
+            except BaseException as exc:  # lint: allow[broad-except] -- injected faults raise SystemExit-grade errors; charge() owns the budget
                 duration = time.perf_counter() - started
                 before = len(state.report.failures)
                 state.charge(

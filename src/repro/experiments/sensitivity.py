@@ -24,6 +24,7 @@ from repro.core.ergo import Ergo
 from repro.experiments.config import scaled_n0
 from repro.experiments.report import results_path
 from repro.experiments.runner import run_point
+from repro.resilience import atomic_write_text
 
 
 @dataclass
@@ -110,8 +111,7 @@ def main(argv: List[str] = None) -> List[SensitivityRow]:
     config = SensitivityConfig.quick() if "--quick" in args else SensitivityConfig()
     rows = run(config)
     text = render(rows)
-    with open(results_path("sensitivity.txt"), "w") as handle:
-        handle.write(text + "\n")
+    atomic_write_text(results_path("sensitivity.txt"), text + "\n")
     print(text)
     return rows
 

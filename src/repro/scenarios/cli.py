@@ -73,7 +73,7 @@ def progress_printer(
     labels: Sequence[Tuple[str, str]],
     stream=None,
     min_wall_s: float = PROGRESS_MIN_WALL_S,
-    clock: Callable[[], float] = time.monotonic,
+    clock: Callable[[], float] = time.monotonic,  # lint: allow[R001] -- stderr progress throttle; injectable for tests
 ) -> Callable:
     """An ``on_snapshot(index, snapshot)`` hook that narrates a run.
 

@@ -101,7 +101,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._get()
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response (e.g. dropped an SSE)
-        except Exception as exc:  # noqa: BLE001 -- 500, never a dead thread
+        except Exception as exc:  # lint: allow[broad-except] -- 500 response, never a dead handler thread
             log.exception("GET %s failed", self.path)
             self._error(500, f"{type(exc).__name__}: {exc}")
 
@@ -110,7 +110,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._post()
         except BrokenPipeError:
             pass
-        except Exception as exc:  # noqa: BLE001
+        except Exception as exc:  # lint: allow[broad-except] -- 500 response, never a dead handler thread
             log.exception("POST %s failed", self.path)
             self._error(500, f"{type(exc).__name__}: {exc}")
 

@@ -241,7 +241,7 @@ class Supervisor:
                 return
             try:
                 self._run_job(job_id)
-            except BaseException:
+            except BaseException:  # lint: allow[broad-except] -- a worker thread survives anything a job throws
                 # A worker thread must survive anything a job throws at
                 # it; the job itself was already marked failed (or will
                 # be reaped as stale by maintenance).
@@ -304,7 +304,7 @@ class Supervisor:
                 report = execute_job(
                     spec, checkpoint=checkpoint, resume=False, **hooks
                 )
-        except Exception as exc:  # noqa: BLE001 -- jobs fail, workers don't
+        except Exception as exc:  # lint: allow[broad-except] -- jobs fail, workers don't; error lands on the job record
             log.exception("job %s: execution error", job_id)
             self.store.finish(
                 job_id, "failed", error=f"{type(exc).__name__}: {exc}"
@@ -335,7 +335,7 @@ class Supervisor:
         while not self._draining:
             try:
                 self.maintain()
-            except Exception:  # noqa: BLE001 -- keep the loop alive
+            except Exception:  # lint: allow[broad-except] -- maintenance must outlive any single bad pass
                 log.exception("maintenance pass failed")
             time.sleep(self.maintenance_interval)
 

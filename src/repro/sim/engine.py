@@ -478,7 +478,9 @@ class Simulation:
         )
         if snap_on:
             if self._snap_wall_start is None:
-                self._snap_wall_start = time.perf_counter()
+                # Wall clock feeds only the snapshot telemetry channel
+                # (events/sec); final metrics never read it.
+                self._snap_wall_start = time.perf_counter()  # lint: allow[R001] -- snapshot wall-clock telemetry, never in metrics
             snap_next_time, snap_next_events = self._snap_thresholds(
                 self._snap_last_time, pops + fast_events
             )
@@ -967,7 +969,7 @@ class Simulation:
         good = metrics.good.total
         adversary = metrics.adversary.total
         dt = now - self._snap_last_time
-        wall = time.perf_counter() - self._snap_wall_start
+        wall = time.perf_counter() - self._snap_wall_start  # lint: allow[R001] -- snapshot wall-clock telemetry, never in metrics
         events = self.queue.pops + self._fast_churn_events + events_local
         snapshot = MetricsSnapshot(
             seq=self._snap_seq,

@@ -23,6 +23,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional
 
+from repro.resilience import atomic_write_text
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -91,10 +93,8 @@ class TraceRecorder:
         return "\n".join(e.to_json() for e in self._events)
 
     def write_jsonl(self, path: str) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_jsonl())
-            if self._events:
-                handle.write("\n")
+        text = self.to_jsonl()
+        atomic_write_text(path, text + "\n" if self._events else text)
 
 
 def read_jsonl(path: str) -> List[TraceEvent]:

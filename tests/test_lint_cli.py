@@ -1,0 +1,115 @@
+"""The ``python -m repro lint`` command-line surface."""
+
+import json
+
+from repro.devtools.cli import main
+
+
+def write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestRuleIntrospection:
+    def test_list_rules_in_id_order(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        positions = [out.index(rule_id) for rule_id in
+                     ("R001", "R002", "R003", "R004", "R005")]
+        assert positions == sorted(positions)
+        assert "allow[ID-or-name]" in out
+
+    def test_explain_by_id_and_by_name(self, capsys):
+        assert main(["--explain", "R002"]) == 0
+        by_id = capsys.readouterr().out
+        assert main(["--explain", "atomic-write"]) == 0
+        by_name = capsys.readouterr().out
+        assert by_id == by_name
+        assert "R002 [atomic-write]" in by_id
+        assert "os.replace" in by_id  # the rationale, not just the summary
+
+    def test_explain_unknown_rule(self, capsys):
+        assert main(["--explain", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "R001" in err  # lists what *is* known
+
+    def test_explain_without_argument(self, capsys):
+        assert main(["--explain"]) == 2
+        assert "--explain needs" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "--list-rules" in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    def test_unknown_option(self, capsys):
+        assert main(["--frobnicate"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_missing_path(self, capsys):
+        assert main(["definitely/not/here"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_no_paths_anywhere(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+
+class TestLinting:
+    def test_clean_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, "src/repro/sim/ok.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["src"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: 1 file(s), 0 violations" in out
+
+    def test_violation_exits_one_with_diagnostic(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write(
+            tmp_path,
+            "src/repro/sim/bad.py",
+            "import time\nnow = time.time()\n",
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["src"]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/sim/bad.py:2:" in out  # file:line the issue demands
+        assert "R001[determinism]" in out
+
+    def test_default_paths_pick_up_existing_dirs(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        write(tmp_path, "src/repro/sim/bad.py", "import random\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 1  # no explicit paths: src/ was found and linted
+        assert "R001" in capsys.readouterr().out
+
+    def test_json_report_shape(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, "src/repro/sim/bad.py", "import random\n")
+        write(tmp_path, "src/repro/sim/ok.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--json", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is False
+        assert doc["files"] == 2
+        assert doc["counts"] == {"R001": 1}
+        [violation] = doc["violations"]
+        assert violation["path"].endswith("bad.py")
+        assert violation["rule"] == "R001"
+        assert {rule["id"] for rule in doc["rules"]} == {
+            "R001", "R002", "R003", "R004", "R005"
+        }
+
+    def test_json_clean(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, "src/repro/sim/ok.py", "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--json", "src"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+        assert doc["violations"] == []

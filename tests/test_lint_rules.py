@@ -1,0 +1,434 @@
+"""Per-rule positive/negative fixtures for every lint rule."""
+
+import textwrap
+
+import repro.devtools  # noqa: F401  -- registers the rules
+from repro.devtools.walker import lint_file
+
+CORE = "src/repro/sim/fixture.py"
+SERVE = "src/repro/serve/fixture.py"
+BENCH = "benchmarks/fixture.py"
+
+
+def lint(source: str, path: str = CORE):
+    return lint_file(path, source=textwrap.dedent(source))
+
+
+def rules_of(source: str, path: str = CORE):
+    return sorted({v.rule for v in lint(source, path)})
+
+
+# ----------------------------------------------------------------------
+# R001 determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_wall_clock_call_in_core(self):
+        violations = lint("import time\nnow = time.time()\n")
+        assert [v.rule for v in violations] == ["R001"]
+        assert violations[0].line == 2
+        assert "wall-clock" in violations[0].message
+
+    def test_aliased_from_import_reference(self):
+        # referencing (not even calling) an aliased clock is flagged
+        source = """
+        from time import perf_counter as pc
+        clock = pc
+        """
+        assert rules_of(source) == ["R001"]
+
+    def test_datetime_now(self):
+        source = """
+        import datetime
+        stamp = datetime.datetime.now()
+        """
+        assert rules_of(source) == ["R001"]
+
+    def test_random_module_import(self):
+        assert rules_of("import random\n") == ["R001"]
+        assert rules_of("from random import shuffle\n") == ["R001"]
+        assert rules_of("import secrets\n") == ["R001"]
+
+    def test_os_urandom(self):
+        source = """
+        import os
+        token = os.urandom(16)
+        """
+        assert rules_of(source) == ["R001"]
+
+    def test_unseeded_default_rng(self):
+        source = """
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        violations = lint(source)
+        assert [v.rule for v in violations] == ["R001"]
+        assert "seed" in violations[0].message
+
+    def test_global_numpy_draw(self):
+        source = """
+        import numpy as np
+        x = np.random.normal(0.0, 1.0)
+        """
+        assert rules_of(source) == ["R001"]
+
+    def test_seeded_default_rng_is_clean(self):
+        source = """
+        import numpy as np
+        rng = np.random.default_rng(2021)
+        x = rng.normal(0.0, 1.0)
+        """
+        assert lint(source) == []
+
+    def test_seed_keyword_is_clean(self):
+        source = """
+        from numpy.random import default_rng
+        rng = default_rng(seed=7)
+        """
+        assert lint(source) == []
+
+    def test_time_sleep_not_flagged(self):
+        # sleep wastes wall time but reads nothing into the simulation
+        source = """
+        import time
+        time.sleep(0.1)
+        """
+        assert lint(source) == []
+
+    def test_allowlisted_layers_exempt(self):
+        source = """
+        import time
+        import random
+        now = time.time()
+        """
+        assert lint(source, path=SERVE) == []
+        assert lint(source, path=BENCH) == []
+        assert lint(source, path="src/repro/resilience.py") == []
+
+    def test_core_package_map_covers_defense_code(self):
+        source = "import random\n"
+        for path in (
+            "src/repro/scenarios/x.py",
+            "src/repro/traces/x.py",
+            "src/repro/adversary/x.py",
+            "src/repro/rb/x.py",
+            "src/repro/baselines/x.py",
+        ):
+            assert rules_of(source, path) == ["R001"], path
+
+
+# ----------------------------------------------------------------------
+# R002 atomic-write
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_plain_write_mode_flagged(self):
+        source = """
+        def save(path, text):
+            with open(path, "w") as fh:
+                fh.write(text)
+        """
+        violations = lint(source, path=BENCH)
+        assert [v.rule for v in violations] == ["R002"]
+        assert "torn" in violations[0].message
+
+    def test_mode_keyword_and_binary_and_append(self):
+        for mode in ('"wb"', '"a"', '"x"'):
+            source = f"fh = open(p, mode={mode})\n"
+            assert rules_of(source, path=BENCH) == ["R002"], mode
+
+    def test_read_modes_clean(self):
+        source = """
+        with open(p) as fh:
+            data = fh.read()
+        with open(p, "rb") as fh:
+            blob = fh.read()
+        """
+        assert lint(source, path=BENCH) == []
+
+    def test_temp_plus_rename_idiom_is_compliant(self):
+        source = """
+        import os
+
+        def save(path, text):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        """
+        assert lint(source, path=BENCH) == []
+
+    def test_dynamic_mode_skipped(self):
+        source = """
+        def touch(path, mode):
+            return open(path, mode)
+        """
+        assert lint(source, path=BENCH) == []
+
+    def test_gzip_open_covered(self):
+        source = """
+        import gzip
+        fh = gzip.open(p, "wb")
+        """
+        assert rules_of(source, path=BENCH) == ["R002"]
+
+    def test_shadowed_open_not_flagged(self):
+        source = """
+        from tarfile import open
+        archive = open(p, "w")
+        """
+        assert lint(source, path=BENCH) == []
+
+    def test_suppression_with_reason(self):
+        source = (
+            'fh = open(p, "a")  '
+            "# lint: allow[atomic-write] -- append-only shared log\n"
+        )
+        assert lint(source, path=BENCH) == []
+
+
+# ----------------------------------------------------------------------
+# R003 serve thread-safety
+# ----------------------------------------------------------------------
+class TestServeThreadSafety:
+    def test_connect_outside_accessor_flagged(self):
+        source = """
+        import sqlite3
+
+        def handler(path):
+            conn = sqlite3.connect(path)
+            return conn.execute("select 1")
+        """
+        violations = lint(source, path=SERVE)
+        assert [v.rule for v in violations] == ["R003"]
+        assert "thread-local" in violations[0].message
+
+    def test_thread_local_accessor_is_the_blessed_pattern(self):
+        source = """
+        import sqlite3
+        import threading
+
+        class JobStore:
+            def __init__(self, path):
+                self._path = path
+                self._local = threading.local()
+
+            def _conn(self):
+                conn = getattr(self._local, "conn", None)
+                if conn is None:
+                    conn = sqlite3.connect(self._path)
+                    self._local.conn = conn
+                return conn
+        """
+        assert lint(source, path=SERVE) == []
+
+    def test_returning_accessor_connection_flagged(self):
+        source = """
+        class Api:
+            def connection(self):
+                return self._conn()
+        """
+        assert rules_of(source, path=SERVE) == ["R003"]
+
+    def test_instance_attribute_connection_flagged(self):
+        source = """
+        import sqlite3
+
+        class Api:
+            def __init__(self, path):
+                self.conn = sqlite3.connect(path)
+        """
+        rules = [v.rule for v in lint(source, path=SERVE)]
+        assert rules == ["R003", "R003"]  # the call site and the escape
+
+    def test_sleep_under_lock_flagged(self):
+        source = """
+        import threading
+        import time
+
+        _lock = threading.Lock()
+
+        def tick():
+            with _lock:
+                time.sleep(0.5)
+        """
+        violations = lint(source, path=SERVE)
+        assert [v.rule for v in violations] == ["R003"]
+        assert "holding" in violations[0].message
+
+    def test_thread_join_under_lock_flagged(self):
+        source = """
+        def drain(self):
+            with self._lock:
+                self._worker_thread.join()
+        """
+        assert rules_of(source, path=SERVE) == ["R003"]
+
+    def test_str_join_under_lock_clean(self):
+        source = """
+        def label(self, parts):
+            with self._lock:
+                return ",".join(parts)
+        """
+        assert lint(source, path=SERVE) == []
+
+    def test_join_outside_lock_clean(self):
+        source = """
+        def drain(self):
+            with self._lock:
+                workers = list(self._workers)
+            for thread in workers:
+                thread.join()
+        """
+        assert lint(source, path=SERVE) == []
+
+    def test_rule_is_scoped_to_serve(self):
+        source = """
+        import sqlite3
+        conn = sqlite3.connect("x.db")
+        """
+        assert lint(source, path=BENCH) == []
+
+
+# ----------------------------------------------------------------------
+# R004 hook contracts
+# ----------------------------------------------------------------------
+class TestHookContracts:
+    def test_batch_override_without_counterpart(self):
+        source = """
+        class FastErgo(Defense):
+            def process_good_join_batch(self, count, costs):
+                self.spend += costs.sum()
+        """
+        violations = lint(source)
+        assert [v.rule for v in violations] == ["R004"]
+        assert "process_good_join" in violations[0].message
+
+    def test_batch_with_counterpart_is_clean(self):
+        source = """
+        class FastErgo(Defense):
+            def process_good_join(self, cost):
+                self.spend += cost
+
+            def process_good_join_batch(self, count, costs):
+                self.spend += costs.sum()
+        """
+        assert lint(source) == []
+
+    def test_all_three_pairs_enforced(self):
+        for batch in (
+            "process_good_join_batch",
+            "process_good_departure_batch",
+            "process_bad_departure_batch",
+        ):
+            source = f"""
+            class D(Defense):
+                def {batch}(self, rows):
+                    pass
+            """
+            assert rules_of(source) == ["R004"], batch
+
+    def test_rng_use_in_batch_hook_flagged(self):
+        source = """
+        class D(Defense):
+            def process_good_join(self, cost, rng):
+                pass
+
+            def process_good_join_batch(self, count, rng):
+                for _ in range(count):
+                    self.process_good_join(1.0, rng)
+        """
+        violations = lint(source)
+        assert violations and all(v.rule == "R004" for v in violations)
+        assert "zero" in violations[0].message
+
+    def test_rng_in_on_snapshot_flagged(self):
+        source = """
+        class D(Defense):
+            def on_snapshot(self, snap):
+                return self._rng.normal()
+        """
+        assert rules_of(source) == ["R004"]
+
+    def test_rng_in_per_event_hook_is_fine(self):
+        source = """
+        class D(Defense):
+            def process_good_join(self, cost, rng):
+                self.spend += rng.normal()
+        """
+        assert lint(source) == []
+
+    def test_non_defense_class_ignored(self):
+        source = """
+        class BatchHelper:
+            def process_good_join_batch(self, rows):
+                pass
+        """
+        assert lint(source) == []
+
+    def test_defense_suffix_heuristic(self):
+        source = """
+        class Hybrid(CustomDefense):
+            def process_bad_departure_batch(self, rows):
+                pass
+        """
+        assert rules_of(source) == ["R004"]
+
+    def test_scoped_to_core(self):
+        source = """
+        class D(Defense):
+            def process_good_join_batch(self, rows):
+                pass
+        """
+        assert lint(source, path=SERVE) == []
+
+
+# ----------------------------------------------------------------------
+# R005 broad except
+# ----------------------------------------------------------------------
+class TestBroadExcept:
+    def test_except_exception_flagged(self):
+        source = """
+        try:
+            work()
+        except Exception:
+            pass
+        """
+        violations = lint(source, path=BENCH)
+        assert [v.rule for v in violations] == ["R005"]
+        assert "Exception" in violations[0].message
+
+    def test_bare_and_base_exception_flagged(self):
+        assert rules_of("try:\n    x()\nexcept:\n    pass\n", BENCH) == ["R005"]
+        assert (
+            rules_of(
+                "try:\n    x()\nexcept BaseException:\n    pass\n", BENCH
+            )
+            == ["R005"]
+        )
+
+    def test_broad_inside_tuple_flagged(self):
+        source = """
+        try:
+            work()
+        except (ValueError, Exception):
+            pass
+        """
+        assert rules_of(source, path=BENCH) == ["R005"]
+
+    def test_narrow_handlers_clean(self):
+        source = """
+        try:
+            work()
+        except (OSError, ValueError) as exc:
+            handle(exc)
+        """
+        assert lint(source, path=BENCH) == []
+
+    def test_justified_broad_handler(self):
+        source = (
+            "try:\n"
+            "    job()\n"
+            "except Exception:  "
+            "# lint: allow[broad-except] -- jobs fail, workers don't\n"
+            "    record()\n"
+        )
+        assert lint(source, path=BENCH) == []
