@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test smoke scenarios chaos serve-smoke traces-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
+.PHONY: lint test smoke scenarios chaos serve-smoke traces-smoke profile-smoke bench-quick bench-scale bench-membership bench-trace perf-trend
 
 # Static invariant lint: determinism boundary, atomic writes, serve
 # thread-safety, defense hook contracts, broad-except justification.
@@ -50,6 +50,17 @@ traces-smoke:
 	$(PYTHON) -m repro traces stats synthetic-flap-ci
 	$(PYTHON) -m repro traces stats tor-relay-flap
 	$(PYTHON) -m repro scenarios run consensus-flap tor-relay-replay --quick --jobs 2
+
+# Cost-attribution smoke: profile the acceptance point (flash-crowd
+# under ERGO), prove byte-identical metrics with profiling off
+# (--check), and write a schema-validated speedscope export.  Exits
+# nonzero if any span table is empty, the export fails validation, or
+# any metric diverges.
+profile-smoke:
+	$(PYTHON) -m repro profile flash-crowd --defense ergo --quick --check \
+		--json results/profile_smoke.json \
+		--speedscope results/profile_smoke.speedscope.json
+	$(PYTHON) -m repro profile flash-crowd --defense sybilcontrol --quick --coarse
 
 # Dump the perf trajectory snapshot (engine events/sec, fast-path vs
 # heap-path A/B, sweep wall time).

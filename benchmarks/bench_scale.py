@@ -28,7 +28,11 @@ makes the scale reachable.  Standard-tier wall times are the best of
 ``REPEATS`` back-to-back runs (the simulations are deterministic, so
 repetition only filters scheduler/turbo noise out of the regression
 signal); the XL tier runs ``XL_REPEATS`` times to keep CI wall time
-bounded, so treat its trend rows as noisier.
+bounded, so treat its trend rows as noisier.  Each standard-tier row
+also reports its repeat spread (``wall_min_s`` / ``wall_median_s`` /
+``wall_max_s``) and -- from one extra span-attributed run -- where the
+time went (``span_heap_pct`` / ``span_defense_pct`` /
+``span_dispatch_pct``; see :mod:`repro.profiling`).
 
 Run (writes ``BENCH_scale.json`` when ``--json`` is given)::
 
@@ -47,6 +51,7 @@ from typing import Callable, Dict, List
 
 from repro.baselines.sybilcontrol import SybilControl
 from repro.churn.generators import poisson_join_blocks
+from repro.profiling import ProfilePolicy, span_shares
 from repro.resilience import atomic_write_text
 from repro.churn.sessions import ExponentialSessions
 from repro.core.ergo import Ergo
@@ -114,9 +119,15 @@ def run_defense(
     horizon_s: float = HORIZON_S,
     budget_s: float = BUDGET_S,
     repeats: int = REPEATS,
+    profile: bool = False,
 ) -> dict:
-    """Best-of-``repeats`` flash-crowd runs; returns the report row."""
-    best_wall = None
+    """Best-of-``repeats`` flash-crowd runs; returns the report row.
+
+    ``profile=True`` adds one extra run with span attribution on and
+    folds its top-3 bucket shares (:func:`span_shares`) into the row;
+    the profiled run's wall never competes for ``wall_s``.
+    """
+    walls: List[float] = []
     result = None
     for _ in range(max(repeats, 1)):
         defense = DEFENSES[name]()
@@ -129,16 +140,22 @@ def run_defense(
         )
         start = time.perf_counter()
         result = sim.run()
-        wall_s = time.perf_counter() - start
-        if best_wall is None or wall_s < best_wall:
-            best_wall = wall_s
+        walls.append(time.perf_counter() - start)
+    walls.sort()
+    best_wall = walls[0]
     counters = result.counters
     joins = counters.get("good_join_events", 0)
     events = counters["queue_pops"] + counters["churn_events_fast"]
     fast_fraction = counters["good_joins_fast"] / max(joins, 1)
-    return {
+    row = {
         "defense": name,
         "wall_s": round(best_wall, 3),
+        # The per-run spread of the same deterministic workload is pure
+        # machine noise -- reported so a wall_s trend blip can be read
+        # against the variance it rode in on.
+        "wall_min_s": round(walls[0], 3),
+        "wall_median_s": round(walls[len(walls) // 2], 3),
+        "wall_max_s": round(walls[-1], 3),
         "within_budget": best_wall <= budget_s,
         "events": events,
         "events_per_sec": round(events / best_wall) if best_wall else None,
@@ -150,6 +167,21 @@ def run_defense(
         "fast_fraction": round(fast_fraction, 4),
         "queue_max_size": counters["queue_max_size"],
     }
+    if profile:
+        defense = DEFENSES[name]()
+        sim = Simulation(
+            SimulationConfig(
+                horizon=horizon_s, tick_interval=1.0, seed=7,
+                profile=ProfilePolicy(),
+            ),
+            defense,
+            flash_crowd_blocks(
+                n_joins=n_joins, burst_s=burst_s, mean_session_s=mean_session_s
+            ),
+        )
+        sim.run()
+        row.update(span_shares(sim.profiler.report().as_dict()))
+    return row
 
 
 def main(argv: List[str] = None) -> dict:
@@ -170,7 +202,7 @@ def main(argv: List[str] = None) -> dict:
     }
     ok = True
     for name in DEFENSES:
-        row = run_defense(name)
+        row = run_defense(name, profile=True)
         report["runs"].append(row)
         if not row["within_budget"]:
             ok = False

@@ -41,6 +41,16 @@ Three measurements:
    (``snapshot_metrics_identical``) -- the hook's determinism
    contract.
 
+6. **Profiler A/B** -- the same engine-loop workload with span
+   attribution (:mod:`repro.profiling`) off vs on, interleaved
+   best-of-N.  ``profiler_metrics_identical`` is the guard (profiling
+   must never perturb the simulation); ``profiler_on_overhead_pct`` is
+   informational -- the *enabled* profiler pays two clock reads per
+   wrapped call by design and carries no budget.  The budgeted number
+   is the *disabled* profiler's cost, which the perf trend derives
+   from ``engine_events_per_sec`` against the committed snapshot
+   (an in-binary off-vs-off A/B would measure only scheduler noise).
+
 Run (writes ``BENCH_micro.json`` when ``--json`` is given)::
 
     PYTHONPATH=src python benchmarks/bench_sweep.py --quick --jobs 4 --json BENCH_micro.json
@@ -62,6 +72,7 @@ import numpy as np
 
 from repro.adversary.strategies import GreedyJoinAdversary
 from repro.experiments import figure8
+from repro.profiling import ProfilePolicy
 from repro.experiments.config import Figure8Config
 from repro.experiments.parallel import parse_jobs
 from repro.resilience import atomic_write_text
@@ -311,6 +322,58 @@ def snapshot_overhead(n_joins: int = 100_000, horizon: float = 200.0,
     }
 
 
+def profiler_overhead(n_joins: int = 20_000, horizon: float = 5_000.0,
+                      repeats: int = 5) -> dict:
+    """Span attribution off vs on for the engine-loop workload.
+
+    The off and on runs are interleaved within each repeat so both
+    sample the same scheduler weather; the reported overhead is an
+    informational best-of-N wall delta (the enabled profiler is *meant*
+    to cost something -- attribution is what it buys).  The hard
+    guarantee checked here is ``profiler_metrics_identical``: the
+    profiled run's simulated outcome matches the plain run exactly.
+    """
+    block = churn_block(n_joins, horizon)
+
+    def run(policy):
+        sim = Simulation(
+            SimulationConfig(
+                horizon=horizon, tick_interval=1.0, seed=1, profile=policy,
+            ),
+            NullDefense(),
+            [block],
+            adversary=GreedyJoinAdversary(rate=0.5),
+        )
+        start = time.perf_counter()
+        result = sim.run()
+        return time.perf_counter() - start, result, sim
+
+    best_off = best_on = float("inf")
+    spans = 0
+    for _ in range(repeats):
+        wall_off, result_off, _ = run(None)
+        wall_on, result_on, sim_on = run(ProfilePolicy())
+        best_off = min(best_off, wall_off)
+        best_on = min(best_on, wall_on)
+        spans = len(sim_on.profiler.report().rows)
+    identical = (
+        result_off.good_spend == result_on.good_spend
+        and result_off.adversary_spend == result_on.adversary_spend
+        and result_off.max_bad_fraction == result_on.max_bad_fraction
+        and result_off.final_system_size == result_on.final_system_size
+        and result_off.counters == result_on.counters
+    )
+    return {
+        "profiler_off_s": round(best_off, 4),
+        "profiler_on_s": round(best_on, 4),
+        "profiler_spans": spans,
+        "profiler_on_overhead_pct": round(
+            100.0 * (best_on - best_off) / best_off, 2
+        ) if best_off else None,
+        "profiler_metrics_identical": identical,
+    }
+
+
 def main(argv: List[str] = None) -> dict:
     args = list(argv if argv is not None else sys.argv[1:])
     jobs = parse_jobs(args)
@@ -329,6 +392,7 @@ def main(argv: List[str] = None) -> dict:
     report.update(sweep_times(config, jobs, serial_rows, serial_s))
     report.update(checkpoint_overhead(config, serial_rows))
     report.update(snapshot_overhead())
+    report.update(profiler_overhead())
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     for i, arg in enumerate(args):

@@ -20,8 +20,9 @@ the property end-to-end through the *scenario* machinery -- the same
    fails loudly if anyone reintroduces materialization.
 
 Results merge into ``BENCH_scale.json`` under ``runs_trace`` (plus a
-``trace_replay`` meta block), which ``perf_trend.py`` tracks against
-the committed snapshot::
+``trace_replay`` meta block carrying the span-attribution buckets of
+one profiled ERGO replay; see :mod:`repro.profiling`), which
+``perf_trend.py`` tracks against the committed snapshot::
 
     PYTHONPATH=src python benchmarks/bench_trace_replay.py --json BENCH_scale.json
 """
@@ -34,6 +35,7 @@ import time
 import tracemalloc
 from typing import List
 
+from repro.profiling import ProfilePolicy, span_shares
 from repro.resilience import atomic_write_text
 from repro.scenarios.run import ScenarioPointSpec, run_spec_point
 from repro.scenarios.spec import AttackSchedule, ScenarioSpec, SessionSpec, TraceReplay
@@ -100,6 +102,22 @@ def run_defense(name: str, duration: float) -> dict:
         "final_size": row["final_size"],
         "queue_max_size": row["queue_max_size"],
     }
+
+
+def measure_span_shares(duration: float) -> dict:
+    """Span-attribution buckets for one profiled ERGO replay.
+
+    One extra run with the profiler on (never the timed run: its wall
+    must not carry instrumentation).  Tells the trend where replay
+    time goes -- heap ops vs defense pricing vs dispatch -- at trace
+    scale, next to the flash-crowd tier's equivalents.
+    """
+    spec = replay_spec(duration)
+    point = ScenarioPointSpec(
+        scenario=spec.name, defense="ERGO", seed=7, t_rate=0.0
+    )
+    row = run_spec_point(spec, point, profile=ProfilePolicy())
+    return span_shares(row["profile"])
 
 
 def measure_peak_memory(duration: float) -> float:
@@ -171,6 +189,7 @@ def main(argv: List[str] = None) -> dict:
         "peak_tracemalloc_mb": round(peak_mb, 1),
         "ok": ok,
     }
+    meta.update(measure_span_shares(duration))
 
     # Merge into the scale snapshot rather than clobbering it: the
     # trace tier is one more set of regression-tracked rows alongside

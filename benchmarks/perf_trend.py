@@ -65,12 +65,27 @@ MICRO_LIMITS = {
     ),
 }
 
+#: Budget for the *disabled* profiler's engine cost: how much fresh
+#: fast-path throughput may fall short of the committed snapshot's.
+#: The profiler's contract is that run() with ``profile=None`` binds
+#: the same callables it always did, so any sustained drop here is
+#: instrumentation leaking into the hot loop (or a real engine
+#: regression -- either way, look).  Derived from
+#: ``engine_events_per_sec``, not measured in-binary: an off-vs-off
+#: A/B inside one process is pure scheduler noise.
+PROFILER_OFF_BUDGET_PCT = 3.0
+
 #: per-defense metrics from the scale snapshot's ``runs`` rows (the
 #: ``runs_xl`` tier reports under a ``scale-xl/`` prefix and the
 #: streamed 10^6-event trace-replay tier under ``trace-replay/``).
 SCALE_METRICS = {
     "events/sec": ("events_per_sec", True),
     "wall (s)": ("wall_s", False),
+    # Span attribution shares (bench_scale's profiled extra run):
+    # growth means that bucket is eating a larger slice of the wall.
+    "heap span share (%)": ("span_heap_pct", False),
+    "defense span share (%)": ("span_defense_pct", False),
+    "dispatch span share (%)": ("span_dispatch_pct", False),
 }
 
 #: scale-snapshot tiers: (rows key, report prefix).
@@ -174,6 +189,25 @@ def collect_rows(
                     "fresh": fresh,
                     "change": (fresh - limit) / limit,
                     "regressed": fresh > limit,
+                }
+            )
+    if micro_fresh and micro_base:
+        base_eps = micro_base.get("engine_events_per_sec")
+        fresh_eps = micro_fresh.get("engine_events_per_sec")
+        if (isinstance(base_eps, (int, float))
+                and isinstance(fresh_eps, (int, float)) and base_eps > 0):
+            overhead_pct = max(0.0, 100.0 * (base_eps - fresh_eps) / base_eps)
+            rows.append(
+                {
+                    "metric": ("micro: profiler-disabled engine overhead "
+                               "(% vs committed events/sec)"),
+                    "baseline": PROFILER_OFF_BUDGET_PCT,
+                    "fresh": round(overhead_pct, 2),
+                    "change": (
+                        (overhead_pct - PROFILER_OFF_BUDGET_PCT)
+                        / PROFILER_OFF_BUDGET_PCT
+                    ),
+                    "regressed": overhead_pct > PROFILER_OFF_BUDGET_PCT,
                 }
             )
     if scale_fresh and scale_base:

@@ -11,6 +11,7 @@ Usage::
     python -m repro sensitivity [--quick]
     python -m repro scenarios list
     python -m repro scenarios run <name> [--quick] [--jobs N]
+    python -m repro profile <scenario> [--defense NAME] [--quick]
     python -m repro serve [--port N] [--data-dir PATH]
     python -m repro lint [--json] [--explain RULE] [--list-rules] [paths...]
     python -m repro traces list
@@ -34,7 +35,11 @@ Outputs land in ``results/`` (tables, ASCII plots, CSV series).
 diurnal cycles, mass exoduses, flapping Sybils, trace replays) across
 the whole defense suite; ``traces`` manages the churn-trace registry
 (fetch with SHA-256 verification, synthetic consensus-flap generation,
-streaming stats and conversion).  ``lint`` statically checks the
+streaming stats and conversion).  ``profile`` runs one scenario with
+span-level cost attribution and prints a self-time table (flamegraph
+export via ``--speedscope``; EXPERIMENTS.md, "Cost attribution");
+``scenarios run --profile`` attributes a whole sweep.  ``lint``
+statically checks the
 repo's reproducibility contracts -- determinism boundaries, atomic
 writes, serve-layer thread safety, defense hook pairing (EXPERIMENTS.md,
 "Static invariants").  See each subcommand's ``--help``.
@@ -55,6 +60,7 @@ from repro.experiments import (
     sensitivity,
 )
 from repro.devtools import cli as lint_cli
+from repro.profiling import cli as profile_cli
 from repro.scenarios import cli as scenarios_cli
 from repro.serve import cli as serve_cli
 from repro.traces import cli as traces_cli
@@ -73,6 +79,7 @@ FIGURE_COMMANDS: Dict[str, Callable[[List[str]], object]] = {
 COMMANDS: Dict[str, Callable[[List[str]], object]] = {
     **FIGURE_COMMANDS,
     "lint": lint_cli.main,
+    "profile": profile_cli.main,
     "scenarios": scenarios_cli.main,
     "serve": serve_cli.main,
     "traces": traces_cli.main,

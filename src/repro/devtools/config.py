@@ -65,6 +65,11 @@ class LintConfig:
         "repro/committee/",
         "repro/applications/",
         "repro/analysis/",
+        # The profiler is *in* the determinism boundary on purpose: it
+        # runs inside the engine loop, so R001 polices its clock reads
+        # (the two justified perf_counter references carry allow[R001])
+        # and R004's profiling extension keeps its span bodies RNG-free.
+        "repro/profiling/",
     )
 
     #: Wall-clock-legitimate layers: R001 does not apply even where
@@ -85,6 +90,11 @@ class LintConfig:
     #: apply: the multi-threaded service vertical.
     serve_packages: Tuple[str, ...] = ("repro/serve/",)
 
+    #: The cost-attribution profiler (R004's profiling extension):
+    #: every function here runs interleaved with the engine loop, so
+    #: *none* of them may draw RNG -- not just the named hook methods.
+    profiling_packages: Tuple[str, ...] = ("repro/profiling/",)
+
     #: Terminal identifier substrings that mark a ``with`` context
     #: expression as a mutex for R003's held-lock check.
     lock_name_markers: Tuple[str, ...] = ("lock",)
@@ -104,6 +114,9 @@ class LintConfig:
 
     def in_serve(self, path: Union[str, Path]) -> bool:
         return path_in(path, self.serve_packages)
+
+    def in_profiling(self, path: Union[str, Path]) -> bool:
+        return path_in(path, self.profiling_packages)
 
     def excluded(self, path: Union[str, Path]) -> bool:
         return path_in(path, self.exclude)

@@ -24,6 +24,14 @@ The rule enforces, for every class whose bases look like a Defense:
   stream.  Passing an ``rng`` *through* to a per-event helper is
   still a use and is still flagged: the per-event counterpart is
   where the draw belongs.
+
+The rule also covers the cost-attribution profiler
+(``config.profiling_packages``): *every* function there -- wrappers,
+accounting primitives, report builders -- executes interleaved with
+the engine loop under ``--profile``, so any RNG draw would make a
+profiled run diverge from an unprofiled one and break the profiler's
+byte-identical-metrics contract.  The same zero-RNG check applies to
+every function body in those files, not just the named hook methods.
 """
 
 from __future__ import annotations
@@ -96,7 +104,8 @@ class HookContractRule(Rule):
     name = "hook-contracts"
     summary = (
         "a Defense overriding a batch hook must define its per-event "
-        "counterpart; batch hooks and on_snapshot draw no RNG"
+        "counterpart; batch hooks, on_snapshot, and all profiler span "
+        "bodies draw no RNG"
     )
     explain = __doc__ or ""
 
@@ -104,6 +113,9 @@ class HookContractRule(Rule):
         self, ctx: FileContext, config: LintConfig
     ) -> Iterator[Violation]:
         if not config.in_core(ctx.path):
+            return
+        if config.in_profiling(ctx.path):
+            yield from self._check_profiling(ctx)
             return
         for node in ast.walk(ctx.tree):
             if not (isinstance(node, ast.ClassDef) and _is_defense_class(node)):
@@ -138,3 +150,23 @@ class HookContractRule(Rule):
                             f"randomness, or fast-path and heap-path runs "
                             f"draw different streams",
                         )
+
+    def _check_profiling(self, ctx: FileContext) -> Iterator[Violation]:
+        """Profiler files: no function body may touch randomness."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            seen = set()
+            for use in _rng_uses(ctx, node):
+                key = (use.lineno, use.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield ctx.violation(
+                    self,
+                    use,
+                    f"RNG use inside profiler function {node.name}: span "
+                    f"bodies run interleaved with the engine loop, so any "
+                    f"draw here makes profiled runs diverge from "
+                    f"unprofiled ones",
+                )

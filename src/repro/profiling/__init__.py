@@ -1,0 +1,38 @@
+"""Cost attribution for the engine: spans, reports, flamegraph export.
+
+Public surface:
+
+* :class:`ProfilePolicy` -- the ``SimulationConfig.profile`` knob.
+* :class:`SpanProfiler` -- the accumulator the engine drives.
+* :class:`ProfileReport` / :class:`ProfileRow` -- flat results.
+* :func:`to_speedscope` / :func:`validate_speedscope` -- flamegraph
+  export (https://www.speedscope.app).
+
+The CLI entry (``python -m repro profile``) lives in
+:mod:`repro.profiling.cli` and is intentionally not imported here: it
+pulls in the scenario catalog, which imports the engine, which imports
+this package.
+"""
+
+from repro.profiling.core import (
+    GRANULARITIES,
+    HEAP_SPANS,
+    ProfilePolicy,
+    ProfileReport,
+    ProfileRow,
+    SpanProfiler,
+    span_shares,
+)
+from repro.profiling.speedscope import to_speedscope, validate_speedscope
+
+__all__ = [
+    "GRANULARITIES",
+    "HEAP_SPANS",
+    "ProfilePolicy",
+    "ProfileReport",
+    "ProfileRow",
+    "SpanProfiler",
+    "span_shares",
+    "to_speedscope",
+    "validate_speedscope",
+]

@@ -1,0 +1,141 @@
+"""Speedscope (flamegraph) export for :class:`ProfileReport`.
+
+Speedscope's *evented* format is a stream of open/close frame events
+over a shared frame table (https://www.speedscope.app/file-format-schema.json).
+A :class:`~repro.profiling.core.ProfileReport` is an aggregate, not a
+trace, so the exporter synthesizes one deterministic timeline: each
+span occupies one contiguous interval of its inclusive total, its
+children laid out back-to-back from its start.  The gap left after the
+children is exactly the span's self-time, which is what the flamegraph
+renders as the frame's own width.
+
+:func:`validate_speedscope` re-checks the structural invariants the
+viewer relies on (balanced, properly nested events with monotone
+timestamps and in-range frame indices); the CLI runs it on everything
+it writes and the test suite runs it on everything the CLI can emit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.profiling.core import SEP, ProfileReport
+
+SCHEMA_URL = "https://www.speedscope.app/file-format-schema.json"
+
+
+def to_speedscope(report: ProfileReport, name: str = "repro") -> Dict:
+    """Render a report as a speedscope evented-profile document."""
+    children: Dict[str, List] = {}
+    by_path = {}
+    for row in report.rows:
+        by_path[row.path] = row
+        children.setdefault(row.parent, []).append(row.path)
+    frames: List[Dict] = []
+    frame_index: Dict[str, int] = {}
+
+    def frame_for(span: str) -> int:
+        idx = frame_index.get(span)
+        if idx is None:
+            idx = frame_index[span] = len(frames)
+            frames.append({"name": span})
+        return idx
+
+    events: List[Dict] = []
+    end_value = 0.0
+
+    def place(path: str, start: float) -> float:
+        row = by_path[path]
+        idx = frame_for(row.span)
+        events.append({"type": "O", "frame": idx, "at": start})
+        cursor = start
+        for child in children.get(path, ()):
+            cursor = place(child, cursor)
+        end = start + row.total_s
+        if cursor > end:
+            # Float drift: children summed a hair past the parent's
+            # inclusive total; stretch the parent so nesting stays valid.
+            end = cursor
+        events.append({"type": "C", "frame": idx, "at": end})
+        return end
+
+    cursor = 0.0
+    for path in children.get("", ()):
+        cursor = place(path, cursor)
+    end_value = cursor
+    profile = {
+        "type": "evented",
+        "name": name,
+        "unit": "seconds",
+        "startValue": 0.0,
+        "endValue": end_value,
+        "events": events,
+    }
+    return {
+        "$schema": SCHEMA_URL,
+        "shared": {"frames": frames},
+        "profiles": [profile],
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro-profiler",
+    }
+
+
+def validate_speedscope(doc: Dict) -> List[str]:
+    """Structural checks on an exported document; [] means valid."""
+    problems: List[str] = []
+    if doc.get("$schema") != SCHEMA_URL:
+        problems.append(f"$schema is not {SCHEMA_URL!r}")
+    frames = doc.get("shared", {}).get("frames")
+    if not isinstance(frames, list) or not all(
+        isinstance(f, dict) and isinstance(f.get("name"), str) for f in frames
+    ):
+        problems.append("shared.frames must be a list of {name: str}")
+        frames = []
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        problems.append("profiles must be a non-empty list")
+        return problems
+    for p_index, profile in enumerate(profiles):
+        where = f"profiles[{p_index}]"
+        if profile.get("type") != "evented":
+            problems.append(f"{where}.type must be 'evented'")
+            continue
+        events = profile.get("events")
+        if not isinstance(events, list):
+            problems.append(f"{where}.events must be a list")
+            continue
+        stack: List[int] = []
+        last_at = float(profile.get("startValue", 0.0))
+        for e_index, event in enumerate(events):
+            at = event.get("at")
+            kind = event.get("type")
+            frame = event.get("frame")
+            spot = f"{where}.events[{e_index}]"
+            if not isinstance(frame, int) or not 0 <= frame < len(frames):
+                problems.append(f"{spot}: frame index {frame!r} out of range")
+                continue
+            if not isinstance(at, (int, float)) or at < last_at:
+                problems.append(
+                    f"{spot}: timestamp {at!r} not monotone (last {last_at})"
+                )
+                continue
+            last_at = float(at)
+            if kind == "O":
+                stack.append(frame)
+            elif kind == "C":
+                if not stack or stack.pop() != frame:
+                    problems.append(
+                        f"{spot}: close of frame {frame} does not match "
+                        f"the innermost open frame"
+                    )
+            else:
+                problems.append(f"{spot}: unknown event type {kind!r}")
+        if stack:
+            problems.append(f"{where}: {len(stack)} frame(s) left open")
+        end_value = profile.get("endValue")
+        if not isinstance(end_value, (int, float)) or end_value < last_at:
+            problems.append(
+                f"{where}.endValue {end_value!r} precedes the last event"
+            )
+    return problems

@@ -18,6 +18,10 @@ Options:
     --progress       stream live per-point progress lines to stderr
                      (engine snapshots; see EXPERIMENTS.md,
                      "Observability")
+    --profile        attribute wall time per engine span: each row
+                     carries a per-point breakdown and the report gains
+                     a sweep-level span rollup (see EXPERIMENTS.md,
+                     "Cost attribution"); metrics stay byte-identical
     --snapshot-interval S
                      simulated seconds between progress snapshots
                      (default 1.0; implies nothing without --progress)
@@ -174,6 +178,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = [a for a in args if a != "--quick"]
     progress = "--progress" in args
     args = [a for a in args if a != "--progress"]
+    profile = "--profile" in args
+    args = [a for a in args if a != "--profile"]
     snap_interval_opt = _pop_option(args, "--snapshot-interval")
     defenses = _pop_multi(args, "--defense") or list(SCENARIO_DEFENSES)
     unknown_defenses = [d for d in defenses if d not in SCENARIO_DEFENSES]
@@ -223,6 +229,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             policy=policy,
             snapshot_interval=snapshot_interval,
             on_snapshot=on_snapshot,
+            profile=profile,
         )
     text = report_json(report)
     out_path = results_path("scenarios.json")

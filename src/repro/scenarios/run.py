@@ -31,6 +31,7 @@ from repro.core.protocol import Defense
 from repro.experiments.config import KAPPA
 from repro.experiments.parallel import derive_seed, map_report
 from repro.experiments.runner import adversary_for
+from repro.profiling import ProfilePolicy, ProfileReport
 from repro.scenarios.catalog import get_scenario, scenario_names
 from repro.scenarios.compile import compile_scenario
 from repro.scenarios.spec import AttackSchedule, ScenarioSpec
@@ -118,6 +119,7 @@ def run_spec_point(
     churn_fast_path: Optional[bool] = None,
     snapshot_policy: Optional[SnapshotPolicy] = None,
     on_snapshot: Optional[Callable] = None,
+    profile: Optional[ProfilePolicy] = None,
 ) -> Dict:
     """Simulate one (spec, defense) coordinate; returns a flat row.
 
@@ -129,8 +131,10 @@ def run_spec_point(
     streaming ``TraceReplay`` phases flow to the engine lazily.
 
     ``snapshot_policy`` + ``on_snapshot`` turn on the engine's
-    incremental telemetry; the returned row is byte-identical either
-    way (the engine's determinism contract).
+    incremental telemetry; ``profile`` turns on span-level cost
+    attribution, delivered as a ``"profile"`` key on the row.  The
+    metrics keys of the returned row are byte-identical either way
+    (the engine's determinism contract).
     """
     rngs = RngRegistry(seed=point.seed)
     compiled = compile_scenario(
@@ -146,6 +150,7 @@ def run_spec_point(
             seed=point.seed,
             churn_fast_path=churn_fast_path,
             snapshots=snapshot_policy,
+            profile=profile,
         ),
         defense,
         compiled.iter_blocks(),
@@ -161,7 +166,7 @@ def run_spec_point(
     joins = counters.get("good_join_events", 0)
     fast_joins = counters.get("good_joins_fast", 0)
     shape = compiled.summary()
-    return {
+    row = {
         "scenario": point.scenario,
         "defense": point.defense,
         "seed": point.seed,
@@ -186,6 +191,12 @@ def run_spec_point(
         "queue_max_size": counters.get("queue_max_size", 0),
         "compile_warnings": shape["warnings"],
     }
+    if sim.profiler is not None:
+        # Rides the row itself so the per-point breakdown flows through
+        # the same checkpoint/journal/persistence channels as the
+        # metrics.  Determinism comparisons pop this key first.
+        row["profile"] = sim.profiler.report().as_dict()
+    return row
 
 
 def run_scenario_point(point: ScenarioPointSpec) -> Dict:
@@ -193,9 +204,17 @@ def run_scenario_point(point: ScenarioPointSpec) -> Dict:
     return run_spec_point(get_scenario(point.scenario), point)
 
 
+def run_scenario_point_profiled(point: ScenarioPointSpec) -> Dict:
+    """Profiling variant of :func:`run_scenario_point` (picklable)."""
+    return run_spec_point(
+        get_scenario(point.scenario), point, profile=ProfilePolicy()
+    )
+
+
 def run_scenario_point_live(
     point: ScenarioPointSpec,
     snapshot_interval: float,
+    profile: bool = False,
     emit_snapshot: Optional[Callable] = None,
 ) -> Dict:
     """Snapshot-emitting variant of :func:`run_scenario_point`.
@@ -204,13 +223,16 @@ def run_scenario_point_live(
     :func:`run_catalog` when telemetry is requested: the runtime calls
     it with ``emit_snapshot`` wired to the live/collected delivery
     channel (see :func:`repro.experiments.runtime.run_tasks`).  The
-    returned row is byte-identical to the snapshot-free run.
+    returned row's metrics keys are byte-identical to the
+    snapshot-free run; ``profile=True`` additionally attaches the
+    span breakdown.
     """
     return run_spec_point(
         get_scenario(point.scenario),
         point,
         snapshot_policy=SnapshotPolicy(sim_interval=float(snapshot_interval)),
         on_snapshot=emit_snapshot,
+        profile=ProfilePolicy() if profile else None,
     )
 
 
@@ -250,6 +272,7 @@ def run_catalog(
     on_row=None,
     snapshot_interval: Optional[float] = None,
     on_snapshot=None,
+    profile: bool = False,
 ) -> Dict:
     """Run scenarios x defenses and collect the metrics report.
 
@@ -269,25 +292,39 @@ def run_catalog(
     :class:`~repro.sim.metrics.MetricsSnapshot` rows to
     ``on_snapshot(index, snapshot)`` on the coordinator -- live under
     ``jobs=1``, batched per completed point under a process pool.  The
-    report is byte-identical either way.
+    metrics keys of the report are byte-identical either way.
+
+    ``profile=True`` (or ``policy.profile``) runs every point with
+    span-level cost attribution: each row carries a ``"profile"``
+    breakdown and the report grows a ``"profile"`` rollup summing span
+    totals across points.
     """
     names = list(scenarios) if scenarios is not None else scenario_names()
     points = build_points(names, defenses, seed, t_rate, n0_scale)
+    profile = profile or bool(getattr(policy, "profile", False))
     if snapshot_interval is not None:
         report = map_report(
             run_scenario_point_live,
-            [(p, float(snapshot_interval)) for p in points],
+            [(p, float(snapshot_interval), profile) for p in points],
             jobs=jobs,
             star=True,
             policy=policy,
             on_row=on_row,
             on_snapshot=on_snapshot,
         )
+    elif profile:
+        report = map_report(
+            run_scenario_point_profiled,
+            points,
+            jobs=jobs,
+            policy=policy,
+            on_row=on_row,
+        )
     else:
         report = map_report(
             run_scenario_point, points, jobs=jobs, policy=policy, on_row=on_row
         )
-    return {
+    out = {
         "seed": seed,
         "n0_scale": n0_scale,
         "scenarios": names,
@@ -298,6 +335,16 @@ def run_catalog(
         "retries": report.retries,
         "pool_rebuilds": report.pool_rebuilds,
     }
+    if profile:
+        out["profile"] = aggregate_profiles(report.completed)
+    return out
+
+
+def aggregate_profiles(rows: Sequence[Dict]) -> Dict:
+    """Sum per-row span breakdowns into one sweep-level rollup."""
+    return ProfileReport.merged(
+        row["profile"] for row in rows if isinstance(row.get("profile"), dict)
+    ).as_dict()
 
 
 def report_json(report: Dict) -> str:

@@ -13,6 +13,9 @@ Endpoints::
                           (?start=N for incremental polling)
     GET  /jobs/<id>/live  live telemetry      -> 200 SSE stream
                           (?since=N -> one long-poll JSON batch)
+    GET  /jobs/<id>/profile
+                          span cost breakdown -> 200 {"spans": [...]}
+                          (profiled jobs only; empty list otherwise)
     GET  /healthz         liveness + counts   -> 200
     GET  /metrics         Prometheus text     -> 200
 
@@ -53,6 +56,7 @@ MAX_BODY_BYTES = 1 << 20
 _JOB_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})$")
 _ROWS_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})/rows$")
 _LIVE_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})/live$")
+_PROFILE_PATH = re.compile(r"^/jobs/(?P<id>[0-9a-f]{1,32})/profile$")
 
 #: How often the SSE loop re-reads the store for new snapshots.
 LIVE_SSE_POLL_S = 0.25
@@ -142,6 +146,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         if match:
             self._get_live(match.group("id"), query)
             return
+        match = _PROFILE_PATH.match(path)
+        if match:
+            self._get_profile(match.group("id"))
+            return
         self._error(404, f"no route for {path!r}")
 
     def _list_jobs(self, query: Dict) -> None:
@@ -178,6 +186,26 @@ class ServeHandler(BaseHTTPRequestHandler):
             "start": start,
             "count": len(rows),
             "rows": [{"index": index, "row": row} for index, row in rows],
+        })
+
+    def _get_profile(self, job_id: str) -> None:
+        """A profiled job's span breakdown, hottest self-time first.
+
+        Written once by the worker when the job finishes, so a running
+        (or unprofiled) job answers with an empty list -- the ``state``
+        field tells the client whether to keep polling.
+        """
+        store = self.supervisor.store
+        record = store.get(job_id)
+        if record is None:
+            self._error(404, f"no job {job_id!r}")
+            return
+        spans = store.profile(job_id)
+        self._json(200, {
+            "job": job_id,
+            "state": record.state,
+            "profiled": bool(record.spec.get("profile", False)),
+            "spans": spans,
         })
 
     # -- live telemetry ------------------------------------------------

@@ -14,8 +14,10 @@ JSON object::
       "max_retries":   2,                      # per-point retry budget
       "point_timeout": null,                   # seconds (processes only)
       "fault_spec":    null,                   # repro.faults grammar
-      "snapshot_interval": 1.0                 # live telemetry cadence
-    }                                          #   (sim seconds; 0 = off)
+      "snapshot_interval": 1.0,                # live telemetry cadence
+                                               #   (sim seconds; 0 = off)
+      "profile":       false                   # span-level cost
+    }                                          #   attribution per point
 
 Validation happens at admission time (:func:`parse_job` raises
 :class:`JobValidationError` -> HTTP 400), so a job that reaches the
@@ -65,6 +67,9 @@ class JobSpec:
     #: Simulated seconds between live telemetry snapshots
     #: (``GET /jobs/<id>/live``); ``0`` disables snapshotting.
     snapshot_interval: float = 1.0
+    #: Run every point with span-level cost attribution
+    #: (``GET /jobs/<id>/profile``).  Metrics stay byte-identical.
+    profile: bool = False
 
     def as_dict(self) -> Dict[str, Any]:
         doc = asdict(self)
@@ -81,7 +86,8 @@ class JobSpec:
 #: silently ignoring a misspelled ``n0_scale`` would run the wrong job).
 _KNOWN_KEYS = frozenset(
     ("scenarios", "defenses", "seed", "t_rate", "n0_scale", "jobs",
-     "max_retries", "point_timeout", "fault_spec", "snapshot_interval")
+     "max_retries", "point_timeout", "fault_spec", "snapshot_interval",
+     "profile")
 )
 
 
@@ -171,6 +177,13 @@ def parse_job(payload: Any) -> JobSpec:
         raise JobValidationError(
             "'snapshot_interval' must be >= 0 (0 disables snapshots)"
         )
+    profile = payload.get("profile", False)
+    if profile is None:
+        profile = False
+    if not isinstance(profile, bool):
+        raise JobValidationError(
+            f"'profile' must be a boolean, got {profile!r}"
+        )
 
     return JobSpec(
         scenarios=tuple(scenarios),
@@ -183,6 +196,7 @@ def parse_job(payload: Any) -> JobSpec:
         point_timeout=float(point_timeout) if point_timeout else None,
         fault_spec=fault_spec,
         snapshot_interval=float(snapshot_interval),
+        profile=profile,
     )
 
 
@@ -198,8 +212,10 @@ def spec_from_dict(doc: Dict[str, Any]) -> JobSpec:
         max_retries=doc["max_retries"],
         point_timeout=doc["point_timeout"],
         fault_spec=doc["fault_spec"],
-        # Specs persisted before the telemetry vertical lack the key.
+        # Specs persisted before the telemetry vertical lack the key;
+        # ditto "profile" from before the cost-attribution vertical.
         snapshot_interval=float(doc.get("snapshot_interval", 1.0)),
+        profile=bool(doc.get("profile", False)),
     )
 
 
@@ -232,6 +248,7 @@ def execute_job(
         resume=resume,
         fault_spec=spec.fault_spec,
         on_failure="collect",
+        profile=spec.profile,
     )
     return run_catalog(
         scenarios=list(spec.scenarios),

@@ -72,6 +72,17 @@ CREATE TABLE IF NOT EXISTS job_snapshots (
     created_at REAL NOT NULL,
     PRIMARY KEY (job_id, seq)
 ) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS job_profile (
+    job_id  TEXT NOT NULL,
+    path    TEXT NOT NULL,
+    span    TEXT NOT NULL,
+    parent  TEXT,
+    calls   INTEGER NOT NULL,
+    events  INTEGER NOT NULL,
+    total_s REAL NOT NULL,
+    self_s  REAL NOT NULL,
+    PRIMARY KEY (job_id, path)
+) WITHOUT ROWID;
 """
 
 
@@ -298,6 +309,47 @@ class JobStore:
             "SELECT COUNT(*) AS n FROM job_rows"
         ).fetchone()
         return row["n"]
+
+    # -- cost attribution ----------------------------------------------
+    def put_profile(self, job_id: str, spans: List[Dict[str, Any]]) -> None:
+        """Replace a job's span breakdown (one row per call path).
+
+        Written once, when a profiled job finishes; the delete+insert
+        runs in one transaction so readers never see a half-replaced
+        profile if a resumed attempt rewrites it.
+        """
+        with self._conn() as conn:
+            conn.execute(
+                "DELETE FROM job_profile WHERE job_id = ?", (job_id,)
+            )
+            conn.executemany(
+                "INSERT INTO job_profile (job_id, path, span, parent,"
+                " calls, events, total_s, self_s)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (job_id, s["path"], s["span"], s["parent"], s["calls"],
+                     s["events"], s["total_s"], s["self_s"])
+                    for s in spans
+                ],
+            )
+
+    def profile(self, job_id: str) -> List[Dict[str, Any]]:
+        """A job's span rows, hottest self-time first."""
+        fetched = self._conn().execute(
+            "SELECT path, span, parent, calls, events, total_s, self_s"
+            " FROM job_profile WHERE job_id = ?"
+            " ORDER BY self_s DESC, path",
+            (job_id,),
+        ).fetchall()
+        return [dict(row) for row in fetched]
+
+    def profile_span_totals(self) -> List[Tuple[str, float]]:
+        """Self-seconds per leaf span across all jobs (for /metrics)."""
+        fetched = self._conn().execute(
+            "SELECT span, SUM(self_s) AS self_s FROM job_profile"
+            " GROUP BY span ORDER BY span"
+        ).fetchall()
+        return [(row["span"], row["self_s"]) for row in fetched]
 
     # -- live snapshots ------------------------------------------------
     def put_snapshot(self, job_id: str, snapshot: Dict[str, Any]) -> int:

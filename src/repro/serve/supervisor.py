@@ -318,6 +318,17 @@ class Supervisor:
             "pool_rebuilds": report["pool_rebuilds"],
             "resumed": report["resumed"],
         }
+        if spec.profile:
+            # The report's rollup sums span totals across every point
+            # (resumed rows included -- their profiles rode the rows
+            # through the checkpoint journal).  Persisted before
+            # finish() so /jobs/<id>/profile never sees a terminal job
+            # without its breakdown.
+            rollup = report.get("profile") or {}
+            spans = rollup.get("spans") or []
+            if spans:
+                self.store.put_profile(job_id, spans)
+            summary["profile_spans"] = len(spans)
         if report["failures"]:
             self.store.finish(
                 job_id, "failed", summary=summary,
@@ -416,6 +427,11 @@ class Supervisor:
         polling ``/jobs/<id>/live``.  Per-job series disappear when the
         job finishes (its snapshots are pruned); Prometheus treats
         that as the series going stale, which is the intent.
+
+        Profiled jobs additionally feed
+        ``repro_serve_job_span_seconds_total{span=...}`` -- cumulative
+        self-seconds per engine span across all stored job profiles, a
+        true counter (profiles are only ever added).
         """
         health = self.health()
         now = time.time()
@@ -455,12 +471,26 @@ class Supervisor:
             "# TYPE repro_serve_draining gauge",
             f"repro_serve_draining {1 if self._draining else 0}",
         ]
+        span_totals = self.store.profile_span_totals()
+        if span_totals:
+            lines.append(
+                "# TYPE repro_serve_job_span_seconds_total counter"
+            )
+            for span, self_s in span_totals:
+                lines.append(
+                    f'repro_serve_job_span_seconds_total'
+                    f'{{span="{span}"}} {self_s:.6f}'
+                )
+        # Re-check the state on the fresh read: a job can finish
+        # between running_ids() and get(), and its snapshots linger
+        # (SNAPSHOT_LINGER_S) -- without the state check a terminal
+        # job's last snapshot would keep exporting as a live gauge.
         running = [
             record for record in (
                 self.store.get(job_id)
                 for job_id in self.store.running_ids()
             )
-            if record is not None
+            if record is not None and record.state == "running"
         ]
         if running:
             lines.append("# TYPE repro_serve_job_heartbeat_age_seconds gauge")

@@ -75,6 +75,7 @@ from repro.sim.events import (
 )
 from repro.sim.metrics import MetricSet, MetricsSnapshot, SnapshotPolicy
 from repro.sim.rng import RngRegistry
+from repro.profiling import ProfilePolicy, SpanProfiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.adversary.base import Adversary
@@ -194,6 +195,12 @@ class SimulationConfig:
     #: enabled).  ``None`` disables emission; final metrics are
     #: byte-identical either way.
     snapshots: Optional[SnapshotPolicy] = None
+    #: attribute wall time across the run loop's seams through a
+    #: :class:`~repro.profiling.SpanProfiler` (``Simulation.profiler``).
+    #: ``None`` disables profiling: the loop binds the raw callables in
+    #: one setup branch and pays no new per-iteration cost; final
+    #: metrics are byte-identical either way.
+    profile: Optional[ProfilePolicy] = None
 
 
 @dataclass
@@ -280,6 +287,11 @@ class Simulation:
         self._snap_last_adversary = 0.0
         self._snap_wall_start: Optional[float] = None
         self._snap_tracer = None
+        #: span accumulator (``config.profile``); ``run()`` drives it
+        #: and :meth:`~repro.profiling.SpanProfiler.report` reads it
+        self.profiler: Optional[SpanProfiler] = (
+            SpanProfiler(config.profile) if config.profile is not None else None
+        )
         #: earliest time another adversary.act() call could matter
         self._adversary_wake = float("-inf")
         #: event tallies flushed into MetricSet.counters at summarize
@@ -458,6 +470,41 @@ class Simulation:
                 # Mixed stream: flatten the remainder into events.
                 churn_iter = flatten_churn(itertools.chain([pending], churn_iter))
                 pending = next(churn_iter, None)
+        # Seam bindings: the loop calls these locals instead of chasing
+        # attributes, which is also where the profiler hooks in.  With
+        # profiling off the raw callables are bound and the loop pays
+        # no new per-iteration cost (the only recurring conditional
+        # cost stays the snapshot hook's two float compares); with it
+        # on, this one setup branch swaps in timed wrappers.
+        prof = self.profiler
+        if prof is not None:
+            # Shadow the defense's hook methods first so the local
+            # bindings below pick up the timed versions.
+            prof.instrument_defense(defense)
+        join_batch = defense.process_good_join_batch
+        depart_batch = defense.process_good_departure_batch
+        adv_act = adversary.act if adversary is not None else None
+        sample = self._sample_now
+        emit_snapshot = self._emit_snapshot
+        load_block = self._load_next_block
+        pump_push = heappush
+        drain_pop = heappop
+        if prof is not None:
+            if prof.deep:
+                heappush = prof.wrap_leaf("engine.heap_push", heappush)
+                heappop = prof.wrap_leaf("engine.heap_pop", heappop)
+                pump_push = prof.wrap_leaf("engine.churn_pump", pump_push)
+                drain_pop = prof.wrap_leaf("engine.heap_drain", drain_pop)
+            if adv_act is not None:
+                adv_act = prof.wrap("adversary.act", adv_act)
+            sample = prof.wrap("engine.sample", sample)
+            emit_snapshot = prof.wrap("engine.snapshot", emit_snapshot)
+            load_block = prof.wrap("engine.block_load", load_block)
+            handlers = {
+                cls: prof.wrap(f"engine.handle.{cls.__name__}", fn)
+                for cls, fn in handlers.items()
+            }
+            prof.begin("engine.run")
         pops = 0
         churn_pushes = 0
         fast_events = 0
@@ -496,7 +543,7 @@ class Simulation:
         frontier_seq = 0
         while True:
             if block_mode and bt is None and not self._churn_done:
-                if self._load_next_block():
+                if load_block():
                     bt = self._block_times
                     bk = self._block_kinds
                     bs = self._block_sessions
@@ -512,7 +559,7 @@ class Simulation:
                     pull_until = horizon
                 if pending.time > pull_until:
                     break
-                heappush(heap, (pending.time, 0, next_seq(), pending))
+                pump_push(heap, (pending.time, 0, next_seq(), pending))
                 churn_pushes += 1
                 if len(heap) > max_size:
                     max_size = len(heap)
@@ -551,7 +598,7 @@ class Simulation:
                             frontier_seq = next_seq()
                         if adversary is not None and t0 >= adv_wake:
                             now = clock._now = t0
-                            adversary.act(t0)
+                            adv_act(t0)
                             adv_wake = adversary.next_wake(t0)
                         # Scan the batch extent.  Row ``bi`` is always
                         # included (the adversary, if due, already acted
@@ -620,9 +667,7 @@ class Simulation:
                         ids_seg = bid[bi:j] if bid is not None else None
                         k = j - bi
                         if joins:
-                            admitted = defense.process_good_join_batch(
-                                times_seg, ids_seg
-                            )
+                            admitted = join_batch(times_seg, ids_seg)
                             if ids_seg is not None:
                                 for proposed, uid in zip(ids_seg, admitted):
                                     if proposed is not None and uid is not None:
@@ -665,7 +710,7 @@ class Simulation:
                         else:
                             if ids_seg is not None and aliases:
                                 ids_seg = [aliases.pop(i, i) for i in ids_seg]
-                            defense.process_good_departure_batch(times_seg, ids_seg)
+                            depart_batch(times_seg, ids_seg)
                             self._good_departure_events += k
                         fast_events += k
                         bi = j
@@ -679,14 +724,14 @@ class Simulation:
                             frontier_time = last_t
                         now = clock._now = last_t
                         if last_t >= next_sample:
-                            self._sample_now()
+                            sample()
                             next_sample = last_t + sample_interval
                         if (
                             last_t >= snap_next_time
                             or pops + fast_events >= snap_next_events
                         ):
                             snap_next_time, snap_next_events = (
-                                self._emit_snapshot(
+                                emit_snapshot(
                                     last_t, pops + fast_events,
                                     fast_events, len(heap),
                                 )
@@ -714,7 +759,7 @@ class Simulation:
                 frontier_time = event_time
                 frontier_seq = next_seq()
             if adversary is not None and event_time >= adv_wake:
-                adversary.act(event_time)
+                adv_act(event_time)
                 adv_wake = adversary.next_wake(event_time)
             cls = event.__class__
             if cls is str:
@@ -740,7 +785,7 @@ class Simulation:
                             d_times = [event_time]
                             d_ids = [event]
                             while True:
-                                heappop(heap)
+                                drain_pop(heap)
                                 pops += 1
                                 d_times.append(t2)
                                 d_ids.append(top[3])
@@ -760,7 +805,7 @@ class Simulation:
                 if run is not None:
                     now = clock._now = d_times[-1]
                     self._good_departure_events += len(d_ids)
-                    defense.process_good_departure_batch(d_times, d_ids)
+                    depart_batch(d_times, d_ids)
                     if owners:
                         for uid in d_ids:
                             proposed = owners.pop(uid, None)
@@ -768,7 +813,7 @@ class Simulation:
                                 del aliases[proposed]
                 else:
                     self._good_departure_events += 1
-                    defense.process_good_departure_batch((event_time,), (event,))
+                    depart_batch((event_time,), (event,))
                     if owners:
                         proposed = owners.pop(event, None)
                         if proposed is not None and aliases.get(proposed) == event:
@@ -777,12 +822,20 @@ class Simulation:
                 handler = handlers.get(cls)
                 if handler is None:
                     handler = resolve(cls)
+                    if prof is not None:
+                        # ``resolve`` caches the raw handler on the
+                        # instance table; the profiled run's local copy
+                        # caches a timed wrapper alongside it.
+                        handler = prof.wrap(
+                            f"engine.handle.{cls.__name__}", handler
+                        )
+                        handlers[cls] = handler
                 handler(event, event_time)
             if now >= next_sample:
-                self._sample_now()
+                sample()
                 next_sample = now + sample_interval
             if now >= snap_next_time or pops + fast_events >= snap_next_events:
-                snap_next_time, snap_next_events = self._emit_snapshot(
+                snap_next_time, snap_next_events = emit_snapshot(
                     now, pops + fast_events, fast_events, len(heap)
                 )
         queue.pops += pops
@@ -806,12 +859,14 @@ class Simulation:
         self._next_sample = next_sample
         self.clock.advance_to(horizon)
         if adversary is not None and horizon >= adv_wake:
-            adversary.act(horizon)
-        self._sample_now()
+            adv_act(horizon)
+        sample()
         if snap_on:
             # Terminal snapshot: cumulative spend here equals the final
             # row exactly (the horizon-time adversary act has run).
-            self._emit_snapshot(horizon, 0, 0, len(queue._heap), last=True)
+            emit_snapshot(horizon, 0, 0, len(queue._heap), last=True)
+        if prof is not None:
+            prof.end()
         return self._summarize()
 
     # ------------------------------------------------------------------

@@ -29,10 +29,10 @@ def test_all_experiments_registered():
         "sensitivity",
     }
     # ``all`` regenerates the figures only; the scenario catalog, the
-    # trace registry, the service, and the linter ride their own
-    # subcommand CLIs.
+    # trace registry, the service, the profiler, and the linter ride
+    # their own subcommand CLIs.
     assert set(COMMANDS) == set(FIGURE_COMMANDS) | {
-        "scenarios", "traces", "serve", "lint",
+        "scenarios", "traces", "serve", "lint", "profile",
     }
 
 
